@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"powerlog"
+	"powerlog/internal/gen"
+)
+
+// repl is an interactive Datalog shell: accumulate rules, check them,
+// run them against a loaded graph. Started with `powerlog -repl`.
+type repl struct {
+	in      *bufio.Scanner
+	out     io.Writer
+	program []string
+	graph   *powerlog.Graph
+	mode    powerlog.Mode
+	workers int
+}
+
+func runREPL(workers int) {
+	r := &repl{
+		in:      bufio.NewScanner(os.Stdin),
+		out:     os.Stdout,
+		mode:    powerlog.ModeSyncAsync,
+		workers: workers,
+	}
+	fmt.Fprintln(r.out, "PowerLog interactive shell — :help for commands, Datalog rules otherwise")
+	for {
+		fmt.Fprint(r.out, "powerlog> ")
+		if !r.in.Scan() {
+			fmt.Fprintln(r.out)
+			return
+		}
+		line := strings.TrimSpace(r.in.Text())
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, ":") {
+			r.program = append(r.program, line)
+			continue
+		}
+		if !r.command(line) {
+			return
+		}
+	}
+}
+
+// command handles one ":" directive; returns false to quit.
+func (r *repl) command(line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ":help":
+		fmt.Fprint(r.out, `commands:
+  :load gen NAME [weighted]   load a synthetic dataset (Flickr, LiveJ, ...)
+  :load file PATH [weighted]  load an edge-list TSV
+  :mode NAME                  naive | sync | async | sync-async | aap
+  :show                       print the accumulated program
+  :check                      run the MRA condition checker
+  :rewrite                    print the incremental form
+  :smtlib                     print the Figure-4 SMT-LIB encoding
+  :run                        compile and execute, print the top results
+  :clear                      discard the program buffer
+  :quit                       exit
+anything else is appended to the program buffer (end rules with '.')
+`)
+	case ":quit", ":q", ":exit":
+		return false
+	case ":clear":
+		r.program = nil
+		fmt.Fprintln(r.out, "program cleared")
+	case ":show":
+		fmt.Fprintln(r.out, strings.Join(r.program, "\n"))
+	case ":mode":
+		if len(fields) != 2 {
+			fmt.Fprintln(r.out, "usage: :mode naive|sync|async|sync-async|aap")
+			break
+		}
+		m, ok := modeNames[fields[1]]
+		if !ok {
+			fmt.Fprintf(r.out, "unknown mode %q\n", fields[1])
+			break
+		}
+		r.mode = m
+	case ":load":
+		r.load(fields[1:])
+	case ":check":
+		if prog := r.parse(); prog != nil {
+			fmt.Fprint(r.out, prog.Check())
+		}
+	case ":rewrite":
+		if prog := r.parse(); prog != nil {
+			text, err := prog.Rewrite()
+			if err != nil {
+				fmt.Fprintln(r.out, "rewrite:", err)
+				break
+			}
+			fmt.Fprint(r.out, text)
+		}
+	case ":smtlib":
+		if prog := r.parse(); prog != nil {
+			text, err := prog.SMTLIB()
+			if err != nil {
+				fmt.Fprintln(r.out, "smtlib:", err)
+				break
+			}
+			fmt.Fprint(r.out, text)
+		}
+	case ":run":
+		r.run()
+	default:
+		fmt.Fprintf(r.out, "unknown command %s (:help)\n", fields[0])
+	}
+	return true
+}
+
+func (r *repl) parse() *powerlog.Program {
+	src := strings.Join(r.program, "\n")
+	prog, err := powerlog.Parse(src)
+	if err != nil {
+		fmt.Fprintln(r.out, "parse:", err)
+		return nil
+	}
+	return prog
+}
+
+func (r *repl) load(args []string) {
+	if len(args) < 2 {
+		fmt.Fprintln(r.out, "usage: :load gen NAME [weighted] | :load file PATH [weighted]")
+		return
+	}
+	weighted := len(args) >= 3 && args[2] == "weighted"
+	switch args[0] {
+	case "gen":
+		d, err := gen.DatasetByName(args[1])
+		if err != nil {
+			fmt.Fprintln(r.out, err)
+			return
+		}
+		r.graph = d.Build(weighted)
+	case "file":
+		f, err := os.Open(args[1])
+		if err != nil {
+			fmt.Fprintln(r.out, err)
+			return
+		}
+		defer f.Close()
+		g, err := powerlog.LoadGraphTSV(f, weighted)
+		if err != nil {
+			fmt.Fprintln(r.out, err)
+			return
+		}
+		r.graph = g
+	default:
+		fmt.Fprintln(r.out, "usage: :load gen NAME | :load file PATH")
+		return
+	}
+	fmt.Fprintf(r.out, "loaded graph: %d vertices, %d edges, weighted=%v\n",
+		r.graph.NumVertices(), r.graph.NumEdges(), r.graph.Weighted())
+}
+
+func (r *repl) run() {
+	prog := r.parse()
+	if prog == nil {
+		return
+	}
+	src := strings.Join(r.program, "\n")
+	db := powerlog.NewDatabase()
+	if r.graph != nil {
+		pred, _, err := joinPredicate(src)
+		if err != nil {
+			fmt.Fprintln(r.out, err)
+			return
+		}
+		db.SetGraph(pred, r.graph)
+	} else if err := loadData(db, src, "", "", true); err != nil {
+		fmt.Fprintln(r.out, "no graph loaded and no inline facts:", err)
+		return
+	}
+	plan, err := prog.Compile(db)
+	if err != nil {
+		fmt.Fprintln(r.out, "compile:", err)
+		return
+	}
+	res, err := powerlog.Run(plan, powerlog.Options{Mode: r.mode, Workers: r.workers})
+	if err != nil {
+		fmt.Fprintln(r.out, "run:", err)
+		return
+	}
+	fmt.Fprintln(r.out, powerlog.Summary(res))
+	printTop(res, 10)
+}

@@ -1,0 +1,153 @@
+// Cluster: run PowerLog across multiple OS processes over TCP — the
+// multi-node deployment path (the original system used OpenMPI on a
+// 17-node cluster; this example uses the TCP transport).
+//
+// Every process compiles the same plan from the same seeded dataset,
+// workers own MonoTable shards by key partitioning, and the master runs
+// the termination protocol.
+//
+// Single command demo (spawns the workers and master as child processes):
+//
+//	go run ./examples/cluster
+//
+// Manual multi-process form:
+//
+//	go run ./examples/cluster -role worker -id 0 -addrs host0:7000,host1:7000,host2:7000,master:7000
+//	go run ./examples/cluster -role worker -id 1 -addrs ...
+//	go run ./examples/cluster -role master -addrs ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"time"
+
+	"powerlog"
+	"powerlog/internal/gen"
+)
+
+const workers = 3
+
+func main() {
+	role := flag.String("role", "", "worker | master (empty: spawn a full demo cluster)")
+	id := flag.Int("id", 0, "worker id (workers 0..n-1)")
+	addrs := flag.String("addrs", "", "comma-separated endpoint addresses, workers first then master")
+	flag.Parse()
+
+	switch *role {
+	case "":
+		demo()
+	case "worker", "master":
+		book := strings.Split(*addrs, ",")
+		if len(book) != workers+1 {
+			log.Fatalf("need %d addresses, got %d", workers+1, len(book))
+		}
+		endpointID := *id
+		if *role == "master" {
+			endpointID = workers
+		}
+		runEndpoint(endpointID, book)
+	default:
+		log.Fatalf("unknown role %q", *role)
+	}
+}
+
+// plan compiles SSSP over the deterministic LiveJ stand-in — every
+// process builds the identical plan, like cluster nodes loading the same
+// HDFS partition set.
+func plan() *powerlog.Plan {
+	prog, err := powerlog.Parse(powerlog.Programs.SSSP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := powerlog.NewDatabase()
+	d, err := gen.DatasetByName("LiveJ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.SetGraph("edge", d.Build(true))
+	p, err := prog.Compile(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func runEndpoint(id int, book []string) {
+	conn, err := powerlog.NewTCPEndpoint(id, workers, book)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	opts := powerlog.Options{Mode: powerlog.ModeSyncAsync, MaxWall: time.Minute}
+	if id == workers {
+		rounds, converged, err := powerlog.RunMaster(plan(), opts, conn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("master: %d termination-check rounds, converged=%v\n", rounds, converged)
+		return
+	}
+	local, err := powerlog.RunWorker(plan(), opts, conn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Print a deterministic sample of this shard's results.
+	keys := make([]int64, 0, len(local))
+	for k := range local {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	fmt.Printf("worker %d: %d keys in shard; first few:", id, len(local))
+	for i, k := range keys {
+		if i == 4 {
+			break
+		}
+		fmt.Printf("  sssp(%d)=%g", k, local[k])
+	}
+	fmt.Println()
+}
+
+// demo spawns the whole cluster as child processes on localhost.
+func demo() {
+	base := 17000 + os.Getpid()%1000
+	book := make([]string, workers+1)
+	for i := range book {
+		book[i] = fmt.Sprintf("127.0.0.1:%d", base+i)
+	}
+	addrs := strings.Join(book, ",")
+	fmt.Printf("spawning %d workers + master on %s\n", workers, addrs)
+
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var procs []*exec.Cmd
+	for i := 0; i < workers; i++ {
+		procs = append(procs, command(exe, "-role", "worker", "-id", fmt.Sprint(i), "-addrs", addrs))
+	}
+	procs = append(procs, command(exe, "-role", "master", "-addrs", addrs))
+	for _, p := range procs {
+		if err := p.Start(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, p := range procs {
+		if err := p.Wait(); err != nil {
+			log.Fatalf("child failed: %v", err)
+		}
+	}
+	fmt.Println("cluster run complete")
+}
+
+func command(exe string, args ...string) *exec.Cmd {
+	cmd := exec.Command(exe, args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	return cmd
+}

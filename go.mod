@@ -1,0 +1,3 @@
+module powerlog
+
+go 1.22

@@ -1,0 +1,171 @@
+// Package agg implements the aggregate operators that may appear in the
+// head of a recursive aggregate Datalog rule: min, max, sum, count, and
+// mean (paper §5.1). Each operator carries its identity element, binary
+// fold, inverse G⁻ used to derive the initial delta ΔX¹ (paper §3.3), and
+// lock-free atomic fold used by the MonoTable update protocol (paper §5.2).
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Kind identifies an aggregate operator.
+type Kind int
+
+// Aggregate operator kinds.
+const (
+	Min Kind = iota
+	Max
+	Sum
+	Count
+	Mean
+)
+
+var kindNames = [...]string{"min", "max", "sum", "count", "mean"}
+
+// String returns the Datalog surface name of the operator.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("agg.Kind(%d)", int(k))
+}
+
+// Parse maps a Datalog aggregate name to its Kind. It also accepts the
+// DeALS-style monotonic spellings mmin/mmax/msum/mcount.
+func Parse(name string) (Kind, error) {
+	switch name {
+	case "min", "mmin":
+		return Min, nil
+	case "max", "mmax":
+		return Max, nil
+	case "sum", "msum":
+		return Sum, nil
+	case "count", "mcount":
+		return Count, nil
+	case "mean", "avg":
+		return Mean, nil
+	default:
+		return 0, fmt.Errorf("agg: unknown aggregate %q", name)
+	}
+}
+
+// Op is a concrete aggregate operator. All Ops are stateless and safe for
+// concurrent use.
+type Op struct {
+	kind     Kind
+	identity float64
+	fold     func(a, b float64) float64
+}
+
+// ops is indexed by Kind. Count folds like Sum at runtime because the
+// engine materialises count inputs as 1-valued deltas (paper §2.3: the
+// runtime semantics of count is "return sum(r, count[d])").
+var ops = [...]*Op{
+	Min:   {Min, math.Inf(1), math.Min},
+	Max:   {Max, math.Inf(-1), math.Max},
+	Sum:   {Sum, 0, func(a, b float64) float64 { return a + b }},
+	Count: {Count, 0, func(a, b float64) float64 { return a + b }},
+	// Mean has no well-defined binary fold without cardinality bookkeeping;
+	// it exists so the checker can reject it (it is not associative).
+	Mean: {Mean, math.NaN(), func(a, b float64) float64 { return (a + b) / 2 }},
+}
+
+// ByKind returns the operator for k.
+func ByKind(k Kind) *Op { return ops[k] }
+
+// Kind returns the operator's kind.
+func (o *Op) Kind() Kind { return o.kind }
+
+// String returns the operator's Datalog name.
+func (o *Op) String() string { return o.kind.String() }
+
+// Identity returns the fold identity: +inf for min, -inf for max, 0 for
+// sum/count.
+func (o *Op) Identity() float64 { return o.identity }
+
+// Fold combines two values.
+func (o *Op) Fold(a, b float64) float64 { return o.fold(a, b) }
+
+// FoldAll folds a slice, returning the identity for an empty slice.
+func (o *Op) FoldAll(vs []float64) float64 {
+	acc := o.identity
+	for _, v := range vs {
+		acc = o.fold(acc, v)
+	}
+	return acc
+}
+
+// Inverse computes the initial delta entry G⁻(x1, x0) of paper §3.3: the
+// value d such that G(x0, d) == x1 under this aggregate. For min/max the
+// inverse is the operator itself; for sum/count it is pairwise subtraction.
+func (o *Op) Inverse(x1, x0 float64) float64 {
+	switch o.kind {
+	case Min:
+		return math.Min(x1, x0)
+	case Max:
+		return math.Max(x1, x0)
+	case Sum, Count:
+		return x1 - x0
+	default:
+		return math.NaN()
+	}
+}
+
+// Better reports whether a strictly improves on b in this aggregate's
+// monotone order (used by priority scheduling and convergence checks).
+// For sum/count any non-zero delta "improves".
+func (o *Op) Better(a, b float64) bool {
+	switch o.kind {
+	case Min:
+		return a < b
+	case Max:
+		return a > b
+	default:
+		return a != 0 || b != 0
+	}
+}
+
+// Selective reports whether the aggregate keeps one winning input (min,
+// max) rather than combining all inputs (sum, count). Selective aggregates
+// converge by value domination; combining aggregates converge by delta
+// magnitude.
+func (o *Op) Selective() bool { return o.kind == Min || o.kind == Max }
+
+// AtomicFold folds v into *addr with a compare-and-swap loop on the raw
+// float64 bits. It reports whether the stored value changed. This is the
+// atomic aggregation of step (3) of the MonoTable update protocol.
+func (o *Op) AtomicFold(addr *uint64, v float64) bool {
+	for {
+		oldBits := atomic.LoadUint64(addr)
+		old := math.Float64frombits(oldBits)
+		next := o.fold(old, v)
+		if next == old || (math.IsNaN(next) && math.IsNaN(old)) {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, oldBits, math.Float64bits(next)) {
+			return true
+		}
+	}
+}
+
+// AtomicExchangeIdentity atomically swaps *addr to the identity element and
+// returns the previous value. This is steps (1)+(2) of the MonoTable update
+// protocol: fetch the intermediate into a local and reset it so a delta is
+// never aggregated twice.
+func (o *Op) AtomicExchangeIdentity(addr *uint64) float64 {
+	old := atomic.SwapUint64(addr, math.Float64bits(o.identity))
+	return math.Float64frombits(old)
+}
+
+// Load atomically reads the float64 stored at addr.
+func Load(addr *uint64) float64 {
+	return math.Float64frombits(atomic.LoadUint64(addr))
+}
+
+// Store atomically writes v to addr.
+func Store(addr *uint64, v float64) {
+	atomic.StoreUint64(addr, math.Float64bits(v))
+}

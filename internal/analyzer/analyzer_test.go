@@ -1,0 +1,234 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"powerlog/internal/agg"
+	"powerlog/internal/parser"
+	"powerlog/internal/progs"
+	"powerlog/internal/smt"
+)
+
+func analyze(t *testing.T, src string) *Info {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return info
+}
+
+func TestAnalyzeSSSP(t *testing.T) {
+	info := analyze(t, progs.SSSP)
+	if info.HeadName != "sssp" || info.Agg != agg.Min || info.AggVar != "dy" {
+		t.Errorf("head=%s agg=%v var=%s", info.HeadName, info.Agg, info.AggVar)
+	}
+	if info.IterIndexed {
+		t.Error("SSSP is not iteration-indexed")
+	}
+	if len(info.KeyVars) != 1 || info.KeyVars[0] != "Y" {
+		t.Errorf("keys = %v", info.KeyVars)
+	}
+	r := info.Rec
+	if r.ValueVar != "dx" {
+		t.Errorf("value var = %s", r.ValueVar)
+	}
+	if got := r.F.String(); got != "dx + dxy" {
+		t.Errorf("F = %q", got)
+	}
+	if r.FPrime.String() != r.F.String() {
+		t.Errorf("selective aggregate must not split F: %q", r.FPrime)
+	}
+	if len(r.Aux) != 1 || r.Aux[0].Name != "edge" {
+		t.Errorf("aux = %v", r.Aux)
+	}
+	if len(info.InitRules) != 1 {
+		t.Errorf("init rules = %d", len(info.InitRules))
+	}
+	if len(info.ConstBodies) != 0 {
+		t.Errorf("const bodies = %d", len(info.ConstBodies))
+	}
+}
+
+func TestAnalyzePageRank(t *testing.T) {
+	info := analyze(t, progs.PageRank)
+	if info.HeadName != "rank" || info.Agg != agg.Sum {
+		t.Fatalf("head=%s agg=%v", info.HeadName, info.Agg)
+	}
+	if !info.IterIndexed {
+		t.Error("PageRank head is iteration-indexed")
+	}
+	if len(info.KeyVars) != 1 || info.KeyVars[0] != "Y" {
+		t.Errorf("keys = %v", info.KeyVars)
+	}
+	if got := info.Rec.F.String(); got != "0.85 * rx / d" {
+		t.Errorf("F = %q", got)
+	}
+	if info.Rec.CRec != nil {
+		t.Errorf("PageRank's recursive body has no additive constant, got %v", info.Rec.CRec)
+	}
+	if len(info.ConstBodies) != 1 {
+		t.Fatalf("const bodies = %d", len(info.ConstBodies))
+	}
+	if got := info.ConstBodies[0].Expr.String(); got != "0.15" {
+		t.Errorf("C = %q", got)
+	}
+	if len(info.DerivedRules) != 1 || info.DerivedRules[0].Head.Name != "degree" {
+		t.Errorf("derived = %v", info.DerivedRules)
+	}
+	if info.Termination == nil || info.Termination.Threshold != 0.0001 {
+		t.Errorf("termination = %+v", info.Termination)
+	}
+	// The count-aggregated degree must yield the d > 0 constraint.
+	found := false
+	for _, c := range info.Constraints {
+		if c.Var == "d" && c.Rel == smt.Gt && c.Bound == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing inferred d > 0 constraint: %v", info.Constraints)
+	}
+}
+
+func TestAnalyzeCCIdentityF(t *testing.T) {
+	info := analyze(t, progs.CC)
+	if got := info.Rec.F.String(); got != "v" {
+		t.Errorf("F = %q, want identity", got)
+	}
+	if info.Rec.ValueVar != "v" {
+		t.Errorf("value var = %s", info.Rec.ValueVar)
+	}
+}
+
+func TestAnalyzeAdsorptionConstBody(t *testing.T) {
+	info := analyze(t, progs.Adsorption)
+	if len(info.ConstBodies) != 1 {
+		t.Fatalf("const bodies = %d", len(info.ConstBodies))
+	}
+	cb := info.ConstBodies[0]
+	if got := cb.Expr.String(); got != "i * p2" {
+		t.Errorf("C expr = %q", got)
+	}
+	if len(cb.Aux) != 2 {
+		t.Errorf("C aux preds = %v", cb.Aux)
+	}
+	if got := info.Rec.F.String(); got != "0.7 * a * (w * p)" && got != "0.7 * a * w * p" {
+		t.Errorf("F = %q", got)
+	}
+}
+
+func TestAnalyzeViterbiConstraints(t *testing.T) {
+	info := analyze(t, progs.Viterbi)
+	if info.Agg != agg.Max {
+		t.Fatalf("agg = %v", info.Agg)
+	}
+	var ge, le bool
+	for _, c := range info.Constraints {
+		if c.Var == "w" && c.Rel == smt.Ge && c.Bound == 0 {
+			ge = true
+		}
+		if c.Var == "w" && c.Rel == smt.Le && c.Bound == 1 {
+			le = true
+		}
+	}
+	if !ge || !le {
+		t.Errorf("w∈[0,1] constraints missing: %v", info.Constraints)
+	}
+}
+
+func TestAnalyzeAPSPPairKeys(t *testing.T) {
+	info := analyze(t, progs.APSP)
+	if len(info.KeyVars) != 2 || info.KeyVars[0] != "X" || info.KeyVars[1] != "Z" {
+		t.Errorf("keys = %v", info.KeyVars)
+	}
+	if len(info.Rec.RecKeyVars) != 2 || info.Rec.RecKeyVars[0] != "X" || info.Rec.RecKeyVars[1] != "Y" {
+		t.Errorf("rec keys = %v", info.Rec.RecKeyVars)
+	}
+}
+
+func TestAnalyzeCostSplitsAdditiveConstant(t *testing.T) {
+	info := analyze(t, progs.Cost)
+	r := info.Rec
+	if r.CRec == nil {
+		t.Fatal("cost F = c + w should split an additive constant for sum")
+	}
+	if got := r.CRec.String(); got != "w" {
+		t.Errorf("C_rec = %q", got)
+	}
+	if got := r.FPrime.String(); got != "c" {
+		t.Errorf("F' = %q", got)
+	}
+}
+
+func TestAnalyzeChainedAssignments(t *testing.T) {
+	info := analyze(t, `
+h(X,v) :- X=0, v=1.
+h(Y,sum[out]) :- h(X,v), edge(X,Y,w), scaled = v * w, out = scaled * 0.5.
+`)
+	if got := info.Rec.F.String(); got != "v * w * 0.5" {
+		t.Errorf("chased F = %q", got)
+	}
+}
+
+func TestAnalyzeAllCatalogPrograms(t *testing.T) {
+	for _, p := range progs.Catalog() {
+		prog, err := parser.Parse(p.Source)
+		if err != nil {
+			t.Errorf("%s: parse: %v", p.Name, err)
+			continue
+		}
+		info, err := Analyze(prog)
+		if err != nil {
+			t.Errorf("%s: analyze: %v", p.Name, err)
+			continue
+		}
+		if got := info.Agg.String(); got != p.Aggregate {
+			t.Errorf("%s: aggregate = %s, want %s", p.Name, got, p.Aggregate)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"no recursion", `a(X,v) :- b(X,v).`, "no recursive rule"},
+		{"no aggregate", `a(X,v) :- a(Y,v), e(Y,X).`, "no aggregate"},
+		{"nonlinear", `a(X,sum[v]) :- a(Y,v1), a(Z,v2), e(Y,Z,X), v = v1+v2.`, "non-linear"},
+		{"two recursive rules", `
+a(X,sum[v]) :- a(X,u), e(X,_), v = u.
+a(X,sum[w]) :- a(X,u), w = u + 1.`, "multiple recursive rules"},
+		{"cyclic defs", `a(Y,sum[v]) :- a(X,u), e(X,Y), v = w + u, w = v.`, "cyclic"},
+		{"double def", `a(Y,sum[v]) :- a(X,u), e(X,Y), v = u, v = u + 1.`, "defined twice"},
+		{"no keys", `a(sum[v]) :- a(u), v = u.`, "no group-by key"},
+		{"arity mismatch", `a(X,Y,sum[v]) :- a(X,u), e(X,Y), v = u.`, "arity"},
+		{"mean agg ok to parse", `a(Y,mean[v]) :- a(X,u), e(X,Y), v = u.`, ""},
+	}
+	for _, c := range cases {
+		prog, err := parser.Parse(c.src)
+		if err != nil {
+			t.Errorf("%s: parse failed: %v", c.name, err)
+			continue
+		}
+		_, err = Analyze(prog)
+		if c.frag == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected error containing %q", c.name, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error = %q, want substring %q", c.name, err, c.frag)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package ast defines the abstract syntax tree for recursive aggregate
+// Datalog programs in the paper's surface syntax (§2.1, §6.1):
+//
+//	r2. sssp(Y,min[dy]) :- sssp(X,dx), edge(X,Y,dxy), dy = dx + dxy.
+//
+// A rule has an optional label, a head predicate whose arguments may
+// include one aggregate term agg[var], and one or more bodies separated by
+// ';' (each optionally re-introduced by ':-'). A body is a conjunction of
+// atoms: predicate atoms and comparison/assignment atoms. A rule may end
+// with a termination clause in braces, e.g. {sum[Δa] < 0.001}, the paper's
+// user-level termination extension (§3.1).
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"powerlog/internal/expr"
+)
+
+// Program is a parsed Datalog program: an ordered list of rules.
+type Program struct {
+	Rules []*Rule
+}
+
+// Rule is a single Datalog rule.
+type Rule struct {
+	Label  string  // optional "r1"-style label
+	Head   *Pred   // head predicate (may contain an aggregate term)
+	Bodies []*Body // disjunctive bodies, each a conjunction of atoms
+	Term   *Termination
+	Line   int // source line of the head, for diagnostics
+}
+
+// Body is a conjunction of atoms.
+type Body struct {
+	Atoms []*Atom
+}
+
+// AtomKind discriminates body atoms.
+type AtomKind int
+
+// Atom kinds.
+const (
+	AtomPred    AtomKind = iota // predicate atom p(t1,...,tn)
+	AtomCompare                 // comparison or assignment: e1 op e2
+)
+
+// Atom is one conjunct of a rule body.
+type Atom struct {
+	Kind AtomKind
+	Pred *Pred    // AtomPred
+	Cmp  *Compare // AtomCompare
+}
+
+// Pred is a predicate application.
+type Pred struct {
+	Name string
+	Args []*Term
+}
+
+// TermKind discriminates predicate argument terms.
+type TermKind int
+
+// Term kinds.
+const (
+	TermVar      TermKind = iota // variable reference
+	TermNum                      // numeric literal
+	TermWildcard                 // "_"
+	TermArith                    // arithmetic expression, e.g. i+1 in a head
+	TermAgg                      // aggregate term agg[var], heads only
+)
+
+// Term is a predicate argument.
+type Term struct {
+	Kind TermKind
+	Var  string     // TermVar
+	Num  float64    // TermNum
+	Expr *expr.Expr // TermArith
+	Agg  *AggTerm   // TermAgg
+}
+
+// AggTerm is an aggregate head term such as min[dy].
+type AggTerm struct {
+	Op  string // aggregate name: min, max, sum, count, mean
+	Var string // aggregated variable
+}
+
+// Compare is a comparison or assignment atom: LHS Op RHS.
+type Compare struct {
+	Op  string // one of = != < > <= >=
+	LHS *expr.Expr
+	RHS *expr.Expr
+}
+
+// IsAssignment reports whether the atom binds a single fresh variable, i.e.
+// has the shape "v = expr" with a bare variable on exactly one side. It
+// returns the bound variable and defining expression.
+func (c *Compare) IsAssignment() (v string, def *expr.Expr, ok bool) {
+	if c.Op != "=" {
+		return "", nil, false
+	}
+	if c.LHS.Kind == expr.KVar {
+		return c.LHS.Name, c.RHS, true
+	}
+	if c.RHS.Kind == expr.KVar {
+		return c.RHS.Name, c.LHS, true
+	}
+	return "", nil, false
+}
+
+// Termination is the user-level convergence clause {agg[Δv] < eps}.
+type Termination struct {
+	Agg       string  // aggregate applied to the window of deltas (typically sum)
+	Var       string  // the delta variable name (informational)
+	Threshold float64 // eps
+}
+
+// AggTermOf returns the head's aggregate term and its argument position, or
+// (nil, -1) when the head carries no aggregate.
+func (r *Rule) AggTermOf() (*AggTerm, int) {
+	for i, t := range r.Head.Args {
+		if t.Kind == TermAgg {
+			return t.Agg, i
+		}
+	}
+	return nil, -1
+}
+
+// IsRecursive reports whether the head predicate occurs in any body.
+func (r *Rule) IsRecursive() bool {
+	for _, b := range r.Bodies {
+		for _, a := range b.Atoms {
+			if a.Kind == AtomPred && a.Pred.Name == r.Head.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the program in parseable surface syntax.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders a rule in surface syntax.
+func (r *Rule) String() string {
+	var b strings.Builder
+	if r.Label != "" {
+		b.WriteString(r.Label)
+		b.WriteString(". ")
+	}
+	b.WriteString(r.Head.String())
+	for i, body := range r.Bodies {
+		if i == 0 {
+			b.WriteString(" :- ")
+		} else {
+			b.WriteString("; :- ")
+		}
+		for j, a := range body.Atoms {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+	}
+	if r.Term != nil {
+		b.WriteString("; {")
+		b.WriteString(r.Term.Agg)
+		b.WriteString("[Δ")
+		b.WriteString(r.Term.Var)
+		b.WriteString("] < ")
+		b.WriteString(strconv.FormatFloat(r.Term.Threshold, 'g', -1, 64))
+		b.WriteString("}")
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// String renders an atom.
+func (a *Atom) String() string {
+	switch a.Kind {
+	case AtomPred:
+		return a.Pred.String()
+	case AtomCompare:
+		return fmt.Sprintf("%s %s %s", a.Cmp.LHS, a.Cmp.Op, a.Cmp.RHS)
+	default:
+		return "<bad atom>"
+	}
+}
+
+// String renders a predicate application.
+func (p *Pred) String() string {
+	var b strings.Builder
+	b.WriteString(p.Name)
+	b.WriteByte('(')
+	for i, t := range p.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders a term.
+func (t *Term) String() string {
+	switch t.Kind {
+	case TermVar:
+		return t.Var
+	case TermNum:
+		return strconv.FormatFloat(t.Num, 'g', -1, 64)
+	case TermWildcard:
+		return "_"
+	case TermArith:
+		return t.Expr.String()
+	case TermAgg:
+		return t.Agg.Op + "[" + t.Agg.Var + "]"
+	default:
+		return "<bad term>"
+	}
+}

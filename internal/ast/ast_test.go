@@ -1,0 +1,88 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"powerlog/internal/expr"
+)
+
+func TestCompareIsAssignment(t *testing.T) {
+	// v = x+1: assignment binding v.
+	c := &Compare{Op: "=", LHS: expr.Var("v"), RHS: expr.Add(expr.Var("x"), expr.Num(1))}
+	v, def, ok := c.IsAssignment()
+	if !ok || v != "v" || def.String() != "x + 1" {
+		t.Errorf("got %q %v %v", v, def, ok)
+	}
+	// Reversed sides.
+	c = &Compare{Op: "=", LHS: expr.Num(5), RHS: expr.Var("w")}
+	v, def, ok = c.IsAssignment()
+	if !ok || v != "w" || def.String() != "5" {
+		t.Errorf("got %q %v %v", v, def, ok)
+	}
+	// Not an assignment: inequality.
+	c = &Compare{Op: "<", LHS: expr.Var("v"), RHS: expr.Num(1)}
+	if _, _, ok := c.IsAssignment(); ok {
+		t.Error("inequality is not an assignment")
+	}
+	// Not an assignment: no bare variable side.
+	c = &Compare{Op: "=", LHS: expr.Add(expr.Var("a"), expr.Num(1)), RHS: expr.Num(2)}
+	if _, _, ok := c.IsAssignment(); ok {
+		t.Error("no bare-variable side")
+	}
+}
+
+func TestRuleHelpers(t *testing.T) {
+	head := &Pred{Name: "r", Args: []*Term{
+		{Kind: TermVar, Var: "X"},
+		{Kind: TermAgg, Agg: &AggTerm{Op: "min", Var: "v"}},
+	}}
+	rule := &Rule{Head: head, Bodies: []*Body{{Atoms: []*Atom{
+		{Kind: AtomPred, Pred: &Pred{Name: "r", Args: []*Term{{Kind: TermVar, Var: "Y"}, {Kind: TermVar, Var: "u"}}}},
+	}}}}
+	agg, pos := rule.AggTermOf()
+	if agg == nil || agg.Op != "min" || pos != 1 {
+		t.Errorf("agg = %+v at %d", agg, pos)
+	}
+	if !rule.IsRecursive() {
+		t.Error("rule references its own head predicate")
+	}
+	rule.Bodies[0].Atoms[0].Pred.Name = "other"
+	if rule.IsRecursive() {
+		t.Error("no longer recursive")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	term := &Term{Kind: TermWildcard}
+	if term.String() != "_" {
+		t.Errorf("wildcard = %q", term)
+	}
+	term = &Term{Kind: TermArith, Expr: expr.Add(expr.Var("i"), expr.Num(1))}
+	if term.String() != "i + 1" {
+		t.Errorf("arith = %q", term)
+	}
+	atom := &Atom{Kind: AtomCompare, Cmp: &Compare{Op: ">=", LHS: expr.Var("w"), RHS: expr.Num(0)}}
+	if atom.String() != "w >= 0" {
+		t.Errorf("compare atom = %q", atom)
+	}
+	rule := &Rule{
+		Label: "r9",
+		Head:  &Pred{Name: "h", Args: []*Term{{Kind: TermVar, Var: "X"}, {Kind: TermAgg, Agg: &AggTerm{Op: "sum", Var: "s"}}}},
+		Bodies: []*Body{
+			{Atoms: []*Atom{{Kind: AtomPred, Pred: &Pred{Name: "e", Args: []*Term{{Kind: TermVar, Var: "X"}}}}}},
+			{Atoms: []*Atom{{Kind: AtomCompare, Cmp: &Compare{Op: "=", LHS: expr.Var("s"), RHS: expr.Num(1)}}}},
+		},
+		Term: &Termination{Agg: "sum", Var: "s", Threshold: 0.5},
+	}
+	s := rule.String()
+	for _, want := range []string{"r9. ", "h(X,sum[s])", ":- e(X)", "; :- s = 1", "{sum[Δs] < 0.5}", "."} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rule rendering missing %q: %s", want, s)
+		}
+	}
+	prog := &Program{Rules: []*Rule{rule}}
+	if !strings.HasSuffix(strings.TrimSpace(prog.String()), ".") {
+		t.Error("program rendering should end rules with periods")
+	}
+}

@@ -1,0 +1,156 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"powerlog/internal/agg"
+	"powerlog/internal/progs"
+	"powerlog/internal/smt"
+)
+
+// TestTable1 reproduces the paper's Table 1: twelve programs pass the MRA
+// condition check; CommNet and GCN-Forward fail.
+func TestTable1(t *testing.T) {
+	for _, p := range progs.Catalog() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			rep, _, err := CheckSource(p.Source)
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			if rep.Satisfied != p.ExpectSat {
+				t.Errorf("MRA sat. = %v, want %v\n%s", rep.Satisfied, p.ExpectSat, rep)
+			}
+			if got := rep.Agg.String(); got != p.Aggregate {
+				t.Errorf("aggregate = %s, want %s", got, p.Aggregate)
+			}
+		})
+	}
+}
+
+func TestPageRankReport(t *testing.T) {
+	rep, info, err := CheckSource(progs.PageRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied {
+		t.Fatalf("PageRank must pass:\n%s", rep)
+	}
+	if rep.FPrime != "0.85 * rx / d" {
+		t.Errorf("F' = %q", rep.FPrime)
+	}
+	if len(rep.CParts) != 1 || rep.CParts[0] != "0.15" {
+		t.Errorf("C = %v", rep.CParts)
+	}
+	if info.Agg != agg.Sum {
+		t.Errorf("agg = %v", info.Agg)
+	}
+	if !strings.Contains(rep.Inverse, "subtraction") {
+		t.Errorf("inverse = %q", rep.Inverse)
+	}
+}
+
+func TestGCNRefutationHasWitness(t *testing.T) {
+	rep, _, err := CheckSource(progs.GCNForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Fatalf("GCN-Forward must fail:\n%s", rep)
+	}
+	if rep.P2.Verdict != smt.Invalid {
+		t.Fatalf("P2 should be refuted with a model, got %v (%s)", rep.P2.Verdict, rep.P2.Reason)
+	}
+	if len(rep.P2.Witness) == 0 {
+		t.Error("expected a concrete counterexample model")
+	}
+}
+
+func TestMeanAggregateFailsP1(t *testing.T) {
+	src := `
+a(X,v) :- X=0, v=1.
+a(Y,mean[v1]) :- a(X,v), edge(X,Y), v1 = v.
+`
+	rep, _, err := CheckSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Fatal("mean must fail the check (not associative)")
+	}
+	if rep.P1.Verdict != smt.Invalid {
+		t.Errorf("P1 = %v (%s), want Invalid", rep.P1.Verdict, rep.P1.Reason)
+	}
+	if !strings.Contains(rep.P2.Reason, "skipped") {
+		t.Errorf("P2 should be skipped after P1 failure: %s", rep.P2.Reason)
+	}
+}
+
+func TestViterbiUsesMonotoneLemma(t *testing.T) {
+	rep, _, err := CheckSource(progs.Viterbi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied {
+		t.Fatalf("Viterbi must pass:\n%s", rep)
+	}
+	if !strings.Contains(rep.P2.Reason, "monotone-distribution") {
+		t.Errorf("expected the lemma to fire, got: %s", rep.P2.Reason)
+	}
+}
+
+func TestMinWithNegativeCoefficientFails(t *testing.T) {
+	// f = -d under min reverses the order: must be rejected.
+	src := `
+a(X,v) :- X=0, v=0.
+a(Y,min[v1]) :- a(X,v), edge(X,Y), v1 = 0 - v.
+`
+	rep, _, err := CheckSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Fatalf("decreasing f under min must fail:\n%s", rep)
+	}
+}
+
+func TestSumWithSquareFails(t *testing.T) {
+	// f = x^2 is nonlinear: sum does not distribute.
+	src := `
+a(X,v) :- X=0, v=1.
+a(Y,sum[v1]) :- a(X,v), edge(X,Y), v1 = v * v.
+`
+	rep, _, err := CheckSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Fatal("quadratic f under sum must fail")
+	}
+	if rep.P2.Verdict != smt.Invalid {
+		t.Errorf("want concrete refutation, got %v", rep.P2.Verdict)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, _, err := CheckSource(progs.SSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"sssp", "MRA satisfied", "P1", "P2", "F' = dx + dxy"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCheckSourceErrors(t *testing.T) {
+	if _, _, err := CheckSource("not a program"); err == nil {
+		t.Error("parse error expected")
+	}
+	if _, _, err := CheckSource("a(X,v) :- b(X,v)."); err == nil {
+		t.Error("analysis error expected for non-recursive program")
+	}
+}

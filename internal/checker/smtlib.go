@@ -1,0 +1,176 @@
+package checker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"powerlog/internal/agg"
+	"powerlog/internal/analyzer"
+	"powerlog/internal/expr"
+	"powerlog/internal/smt"
+)
+
+// EmitSMTLIB renders the Property-2 verification condition of an
+// analysed program as SMT-LIB 2 text in the paper's Figure-4 encoding:
+// declare the program's parameters as constants, define g and f, assert
+// the double negation of G∘F'∘G(X) = G∘F'(X), and (check-sat). Feeding
+// the output to a real Z3 returns "unsat" exactly when the internal
+// solver reports Valid — the emitter exists so the substitution for Z3
+// stays externally auditable.
+func EmitSMTLIB(info *analyzer.Info) (string, error) {
+	g, err := smtlibAgg(info.Agg)
+	if err != nil {
+		return "", err
+	}
+	valueVar := info.Rec.ValueVar
+	fBody, err := smtlibExpr(info.Rec.FPrime, map[string]string{valueVar: "a"})
+	if err != nil {
+		return "", err
+	}
+
+	// Program parameters: every free variable of F' except the recursive
+	// value variable, declared as real constants with their harvested
+	// domain assertions (the paper's "(assert (> d 0))").
+	var params []string
+	for _, v := range info.Rec.FPrime.Vars() {
+		if v != valueVar {
+			params = append(params, v)
+		}
+	}
+	sort.Strings(params)
+
+	var b strings.Builder
+	for _, p := range params {
+		fmt.Fprintf(&b, "(declare-const %s Real)\n", p)
+	}
+	fmt.Fprintf(&b, "(define-fun g ((a Real) (b Real)) Real\n  %s)\n", g)
+	fmt.Fprintf(&b, "(define-fun f ((a Real)) Real\n  %s)\n", fBody)
+	for _, c := range info.Constraints {
+		op, ok := smtlibRel(c.Rel)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "(assert (%s %s %s))\n", op, c.Var, smtlibNum(c.Bound))
+	}
+	// The Figure-4 template: NOT ∀x1,y1,x2,y2:
+	//   g(f(g(x1,y1)), f(g(x2,y2))) = g(g(g(f(x1), f(y1)), f(x2)), f(y2))
+	b.WriteString(`(assert (
+    not (forall ((x1 Real) (y1 Real) (x2 Real) (y2 Real))
+ (= (g (f (g x1 y1)) (f (g x2 y2)))
+           (g (g (g (f x1) (f y1)) (f x2)) (f y2))))
+))
+(check-sat)
+`)
+	return b.String(), nil
+}
+
+func smtlibAgg(k agg.Kind) (string, error) {
+	switch k {
+	case agg.Sum, agg.Count:
+		return "(+ a b)", nil
+	case agg.Min:
+		return "(ite (<= a b) a b)", nil
+	case agg.Max:
+		return "(ite (>= a b) a b)", nil
+	case agg.Mean:
+		return "(/ (+ a b) 2)", nil
+	default:
+		return "", fmt.Errorf("checker: no SMT-LIB encoding for aggregate %v", k)
+	}
+}
+
+func smtlibRel(r smt.Rel) (string, bool) {
+	switch r {
+	case smt.Ge:
+		return ">=", true
+	case smt.Gt:
+		return ">", true
+	case smt.Le:
+		return "<=", true
+	case smt.Lt:
+		return "<", true
+	}
+	return "", false
+}
+
+// smtlibExpr renders an expression in SMT-LIB prefix form, renaming
+// variables per rename (the recursive value var becomes f's parameter).
+func smtlibExpr(e *expr.Expr, rename map[string]string) (string, error) {
+	switch e.Kind {
+	case expr.KNum:
+		return smtlibNum(e.Val), nil
+	case expr.KVar:
+		if r, ok := rename[e.Name]; ok {
+			return r, nil
+		}
+		return e.Name, nil
+	case expr.KAdd, expr.KSub, expr.KMul, expr.KDiv:
+		ops := map[expr.Kind]string{expr.KAdd: "+", expr.KSub: "-", expr.KMul: "*", expr.KDiv: "/"}
+		l, err := smtlibExpr(e.Args[0], rename)
+		if err != nil {
+			return "", err
+		}
+		r, err := smtlibExpr(e.Args[1], rename)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s %s %s)", ops[e.Kind], l, r), nil
+	case expr.KNeg:
+		a, err := smtlibExpr(e.Args[0], rename)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(- %s)", a), nil
+	case expr.KCall:
+		switch e.Name {
+		case "relu":
+			a, err := smtlibExpr(e.Args[0], rename)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("(ite (> %s 0) %s 0)", a, a), nil
+		case "abs":
+			a, err := smtlibExpr(e.Args[0], rename)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("(ite (>= %s 0) %s (- %s))", a, a, a), nil
+		case "min", "max":
+			l, err := smtlibExpr(e.Args[0], rename)
+			if err != nil {
+				return "", err
+			}
+			r, err := smtlibExpr(e.Args[1], rename)
+			if err != nil {
+				return "", err
+			}
+			cmp := "<="
+			if e.Name == "max" {
+				cmp = ">="
+			}
+			return fmt.Sprintf("(ite (%s %s %s) %s %s)", cmp, l, r, l, r), nil
+		default:
+			return "", fmt.Errorf("checker: builtin %q has no SMT-LIB real encoding (transcendental)", e.Name)
+		}
+	default:
+		return "", fmt.Errorf("checker: bad expression kind %d", e.Kind)
+	}
+}
+
+// smtlibNum renders a float as an SMT-LIB real literal (Z3 rejects "0.85"
+// only when negative; negatives need (- x)).
+func smtlibNum(v float64) string {
+	if v < 0 {
+		return fmt.Sprintf("(- %g)", -v)
+	}
+	s := fmt.Sprintf("%g", v)
+	if !strings.ContainsAny(s, ".e") {
+		s += ".0"
+	}
+	if strings.Contains(s, "e") {
+		// Exponent forms are not core SMT-LIB real literals; expand.
+		s = strings.TrimSuffix(fmt.Sprintf("%.12f", v), "0")
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"powerlog/internal/analyzer"
+	"powerlog/internal/parser"
+	"powerlog/internal/progs"
+)
+
+func analyzeFor(t *testing.T, src string) *analyzer.Info {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := analyzer.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// TestEmitSMTLIBPageRank checks the emitter against the paper's Figure 4:
+// same constants, same g/f definitions, same double-negated forall.
+func TestEmitSMTLIBPageRank(t *testing.T) {
+	info := analyzeFor(t, progs.PageRank)
+	out, err := EmitSMTLIB(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"(declare-const d Real)",
+		"(define-fun g ((a Real) (b Real)) Real\n  (+ a b))",
+		"(define-fun f ((a Real)) Real\n  (/ (* 0.85 a) d))",
+		"(assert (> d 0.0))",
+		"(= (g (f (g x1 y1)) (f (g x2 y2)))",
+		"(g (g (g (f x1) (f y1)) (f x2)) (f y2))",
+		"(check-sat)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitSMTLIBSSSPUsesIte(t *testing.T) {
+	info := analyzeFor(t, progs.SSSP)
+	out, err := EmitSMTLIB(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(ite (<= a b) a b)") {
+		t.Errorf("min aggregate should encode as ite:\n%s", out)
+	}
+	if !strings.Contains(out, "(+ a dxy)") {
+		t.Errorf("f should be edge relaxation:\n%s", out)
+	}
+}
+
+func TestEmitSMTLIBGCNRelu(t *testing.T) {
+	info := analyzeFor(t, progs.GCNForward)
+	out, err := EmitSMTLIB(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(ite (> (* a p) 0) (* a p) 0)") {
+		t.Errorf("relu encoding missing:\n%s", out)
+	}
+}
+
+func TestEmitSMTLIBTranscendentalRejected(t *testing.T) {
+	info := analyzeFor(t, progs.CommNet)
+	if _, err := EmitSMTLIB(info); err == nil {
+		t.Fatal("tanh has no real-arithmetic SMT-LIB encoding; emitter must refuse")
+	}
+}
+
+func TestEmitSMTLIBAllPolynomialCataloguePrograms(t *testing.T) {
+	for _, p := range progs.Catalog() {
+		if p.Name == "CommNet" {
+			continue // transcendental
+		}
+		info := analyzeFor(t, p.Source)
+		out, err := EmitSMTLIB(info)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		// Structural sanity: balanced parentheses and the template core.
+		if strings.Count(out, "(") != strings.Count(out, ")") {
+			t.Errorf("%s: unbalanced SMT-LIB output", p.Name)
+		}
+		if !strings.Contains(out, "(check-sat)") {
+			t.Errorf("%s: missing (check-sat)", p.Name)
+		}
+	}
+}
+
+func TestSMTLIBNumbers(t *testing.T) {
+	cases := map[float64]string{
+		0.85: "0.85",
+		0:    "0.0",
+		2:    "2.0",
+		-1.5: "(- 1.5)",
+	}
+	for in, want := range cases {
+		if got := smtlibNum(in); got != want {
+			t.Errorf("smtlibNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package ckpt serialises MonoTable shard state for fault tolerance —
+// the local-filesystem substitute for the original system's HDFS
+// checkpoints. A snapshot stores each row's Accumulation and pending
+// Intermediate, taken at a BSP barrier (a consistent cut: no in-flight
+// messages exist at a barrier). The binary format is length-prefixed
+// little-endian with a CRC32 trailer, so a torn write is detected rather
+// than silently restored.
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Row is one checkpointed MonoTable row.
+type Row struct {
+	Key   int64
+	Acc   float64
+	Inter float64 // pending intermediate delta (identity if none)
+}
+
+const magic = "PLCK\x01"
+
+// Write serialises rows to w.
+func Write(w io.Writer, rows []Row) error {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	if _, err := mw.Write([]byte(magic)); err != nil {
+		return err
+	}
+	var buf [8]byte
+	put := func(v uint64) error {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := mw.Write(buf[:])
+		return err
+	}
+	if err := put(uint64(len(rows))); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := put(uint64(r.Key)); err != nil {
+			return err
+		}
+		if err := put(math.Float64bits(r.Acc)); err != nil {
+			return err
+		}
+		if err := put(math.Float64bits(r.Inter)); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[:4], crc.Sum32())
+	_, err := w.Write(buf[:4])
+	return err
+}
+
+// Read deserialises rows, verifying the CRC.
+func Read(r io.Reader) ([]Row, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(tr, head); err != nil {
+		return nil, fmt.Errorf("ckpt: short header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("ckpt: bad magic %q", head)
+	}
+	var buf [8]byte
+	get := func() (uint64, error) {
+		if _, err := io.ReadFull(tr, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	n, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: bad count: %w", err)
+	}
+	if n > 1<<40 {
+		return nil, fmt.Errorf("ckpt: implausible row count %d", n)
+	}
+	rows := make([]Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: truncated at row %d: %w", i, err)
+		}
+		a, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: truncated at row %d: %w", i, err)
+		}
+		d, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: truncated at row %d: %w", i, err)
+		}
+		rows = append(rows, Row{Key: int64(k), Acc: math.Float64frombits(a), Inter: math.Float64frombits(d)})
+	}
+	sum := crc.Sum32()
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return nil, fmt.Errorf("ckpt: missing checksum: %w", err)
+	}
+	if binary.LittleEndian.Uint32(tail[:]) != sum {
+		return nil, fmt.Errorf("ckpt: checksum mismatch (corrupt or torn snapshot)")
+	}
+	return rows, nil
+}
+
+// ShardPath names worker id's snapshot inside dir.
+func ShardPath(dir string, worker int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.plck", worker))
+}
+
+// SaveShard atomically writes rows to the worker's shard file (write to
+// a temp file, fsync, rename).
+func SaveShard(dir string, worker int, rows []Row) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := ShardPath(dir, worker)
+	tmp, err := os.CreateTemp(dir, "shard-*.tmp")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(tmp)
+	if err := Write(bw, rows); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadAll reads every shard snapshot in dir (any worker count).
+func LoadAll(dir string) ([]Row, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*.plck"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("ckpt: no snapshots in %s", dir)
+	}
+	var all []Row
+	for _, m := range matches {
+		f, err := os.Open(m)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := Read(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m, err)
+		}
+		all = append(all, rows...)
+	}
+	return all, nil
+}

@@ -1,0 +1,162 @@
+package ckpt
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rows := []Row{
+		{Key: 0, Acc: 1.5, Inter: math.Inf(1)},
+		{Key: 42, Acc: -3, Inter: 0.25},
+		{Key: 1<<40 + 7, Acc: 0, Inter: 0},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("rows = %d", len(got))
+	}
+	for i := range rows {
+		if got[i].Key != rows[i].Key || got[i].Acc != rows[i].Acc || got[i].Inter != rows[i].Inter {
+			t.Errorf("row %d = %+v, want %+v", i, got[i], rows[i])
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestReadDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Row{{Key: 1, Acc: 2, Inter: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip a payload byte.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-10] ^= 0xff
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted payload should fail the checksum")
+	}
+
+	// Truncate (torn write).
+	if _, err := Read(bytes.NewReader(data[:len(data)-6])); err == nil {
+		t.Error("truncated snapshot should fail")
+	}
+
+	// Bad magic.
+	bad = append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := make([]Row, n)
+		for i := range rows {
+			rows[i] = Row{Key: rng.Int63(), Acc: rng.NormFloat64(), Inter: rng.NormFloat64()}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, rows); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != len(rows) {
+			return false
+		}
+		for i := range rows {
+			if got[i] != rows[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaveLoadShards(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveShard(dir, 0, []Row{{Key: 0, Acc: 1, Inter: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveShard(dir, 1, []Row{{Key: 1, Acc: 2, Inter: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	all, err := LoadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("rows = %v", all)
+	}
+	// Overwrite is atomic and replaces content.
+	if err := SaveShard(dir, 0, []Row{{Key: 9, Acc: 9, Inter: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	all, err = LoadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[int64]bool{}
+	for _, r := range all {
+		keys[r.Key] = true
+	}
+	if !keys[9] || keys[0] {
+		t.Errorf("overwrite failed: %v", all)
+	}
+	// No leftover temp files.
+	tmp, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(tmp) != 0 {
+		t.Errorf("temp files left behind: %v", tmp)
+	}
+}
+
+func TestLoadAllMissing(t *testing.T) {
+	if _, err := LoadAll(t.TempDir()); err == nil {
+		t.Error("empty dir should error")
+	}
+}
+
+func TestLoadAllRejectsCorruptShard(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveShard(dir, 0, []Row{{Key: 1, Acc: 2, Inter: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	path := ShardPath(dir, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAll(dir); err == nil {
+		t.Error("corrupt shard should fail LoadAll")
+	}
+}

@@ -1,0 +1,124 @@
+package gen
+
+import (
+	"fmt"
+	"sync"
+
+	"powerlog/internal/graph"
+)
+
+// Dataset describes one synthetic stand-in for a Table-2 graph.
+type Dataset struct {
+	Name     string // short name used throughout the benches ("LiveJ", ...)
+	Original string // the real graph it models
+	OrigV    int64  // Table 2 |V|
+	OrigE    int64  // Table 2 |E|
+	Kind     string // generator family
+	Seed     int64
+
+	build func(weighted bool) *graph.Graph
+}
+
+// Datasets returns the six Table-2 stand-ins at roughly 1/400 scale,
+// preserving the table's relative size ordering and each graph's
+// character: social graphs are R-MAT power-law; ClueWeb09 has a small
+// diameter (hub shortcuts); Wiki-link has a large diameter (chain
+// backbone); Arabic-2005 is the largest and heavily skewed.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name: "Flickr", Original: "Flickr", OrigV: 2302925, OrigE: 33140017,
+			Kind: "rmat", Seed: 101,
+			build: func(weighted bool) *graph.Graph {
+				return RMAT(13, 82000, weightOf(weighted), 101) // 8.2k, 82k
+			},
+		},
+		{
+			Name: "LiveJ", Original: "LiveJournal", OrigV: 4847571, OrigE: 68475391,
+			Kind: "rmat", Seed: 102,
+			build: func(weighted bool) *graph.Graph {
+				return RMAT(14, 171000, weightOf(weighted), 102) // 16k, 171k
+			},
+		},
+		{
+			Name: "Orkut", Original: "Orkut", OrigV: 3072441, OrigE: 117184899,
+			Kind: "rmat-dense", Seed: 103,
+			build: func(weighted bool) *graph.Graph {
+				return RMAT(13, 292000, weightOf(weighted), 103) // 8.2k, 292k (dense)
+			},
+		},
+		{
+			Name: "Web", Original: "ClueWeb09", OrigV: 20000000, OrigE: 243063334,
+			Kind: "uniform-smalldiam", Seed: 104,
+			build: func(weighted bool) *graph.Graph {
+				// Uniform random with m ≈ 12·n has tiny diameter, matching
+				// the paper's note that ClueWeb09's small diameter favours
+				// delta-stepping-style optimisations.
+				return Uniform(25000, 300000, weightOf(weighted), 104)
+			},
+		},
+		{
+			Name: "Wiki", Original: "Wiki-link", OrigV: 12150976, OrigE: 378142420,
+			Kind: "chain-highdiam", Seed: 105,
+			build: func(weighted bool) *graph.Graph {
+				// Chain backbone + short-range skips: ~30 extra edges per
+				// vertex within the next 300 positions give a diameter an
+				// order of magnitude above the other datasets — the
+				// deep-frontier regime of paper Figure 1b.
+				return LocalChain(15000, 30, 300, weightOf(weighted), 105)
+			},
+		},
+		{
+			Name: "Arabic", Original: "Arabic-2005", OrigV: 22744080, OrigE: 639999458,
+			Kind: "rmat-large", Seed: 106,
+			build: func(weighted bool) *graph.Graph {
+				return RMAT(15, 800000, weightOf(weighted), 106) // 33k, 800k
+			},
+		},
+	}
+}
+
+func weightOf(weighted bool) float64 {
+	if weighted {
+		return 100 // SSSP-style weights in [1,100]
+	}
+	return 0
+}
+
+// DatasetByName returns the named Table-2 stand-in.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q", name)
+}
+
+// graphCache memoises built graphs: the benches request the same dataset
+// for every algorithm/engine combination.
+var graphCache sync.Map // key string → *graph.Graph
+
+// Build materialises the dataset's graph (cached per weighted flag).
+func (d Dataset) Build(weighted bool) *graph.Graph {
+	key := fmt.Sprintf("%s/%v", d.Name, weighted)
+	if g, ok := graphCache.Load(key); ok {
+		return g.(*graph.Graph)
+	}
+	g := d.build(weighted)
+	graphCache.Store(key, g)
+	return g
+}
+
+// TinyDatasets returns small versions of each generator family for unit
+// and integration tests (hundreds of vertices, deterministic).
+func TinyDatasets() []Dataset {
+	mk := func(name, kind string, seed int64, build func(weighted bool) *graph.Graph) Dataset {
+		return Dataset{Name: name, Original: name, Kind: kind, Seed: seed, build: build}
+	}
+	return []Dataset{
+		mk("tiny-rmat", "rmat", 7, func(w bool) *graph.Graph { return RMAT(8, 1200, weightOf(w), 7) }),
+		mk("tiny-uniform", "uniform", 8, func(w bool) *graph.Graph { return Uniform(300, 1800, weightOf(w), 8) }),
+		mk("tiny-chain", "chain", 9, func(w bool) *graph.Graph { return Chain(300, 600, weightOf(w), 9) }),
+	}
+}

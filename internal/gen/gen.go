@@ -1,0 +1,365 @@
+// Package gen produces seeded synthetic graphs that stand in for the
+// paper's six real-world datasets (Table 2). The real graphs (Flickr,
+// LiveJournal, Orkut, ClueWeb09, Wiki-link, Arabic-2005) are not
+// redistributable at laptop scale; the generators below preserve the
+// properties the evaluation depends on — relative |V|/|E| ordering, degree
+// skew (power-law via R-MAT), and diameter character — at roughly 1/400
+// scale. All generators are deterministic in their seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"powerlog/internal/graph"
+)
+
+// RMAT generates a power-law directed graph with 2^scale vertices and
+// approximately m edges using the recursive-matrix method with the
+// canonical (a,b,c,d) = (0.57,0.19,0.19,0.05) partition probabilities.
+// Self-loops are kept (they occur in real crawls too); duplicate edges are
+// removed. Weights are drawn uniformly from [1,maxW] when maxW > 0.
+func RMAT(scale int, m int, maxW float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	const a, b, c = 0.57, 0.19, 0.19
+	seen := make(map[int64]bool, m)
+	edges := make([]graph.Edge, 0, m)
+	for attempts := 0; len(edges) < m && attempts < 20*m; attempts++ {
+		src, dst := 0, 0
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a: // top-left
+			case r < a+b: // top-right
+				dst |= 1 << bit
+			case r < a+b+c: // bottom-left
+				src |= 1 << bit
+			default: // bottom-right
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		key := int64(src)<<32 | int64(dst)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		w := 1.0
+		if maxW > 0 {
+			w = 1 + rng.Float64()*(maxW-1)
+		}
+		edges = append(edges, graph.Edge{Src: int32(src), Dst: int32(dst), W: w})
+	}
+	g, err := graph.FromEdges(n, edges, maxW > 0)
+	if err != nil {
+		panic("gen: rmat: " + err.Error())
+	}
+	return g
+}
+
+// Uniform generates an Erdős–Rényi style directed graph: m edges drawn
+// uniformly over n×n (duplicates removed).
+func Uniform(n, m int, maxW float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[int64]bool, m)
+	edges := make([]graph.Edge, 0, m)
+	for attempts := 0; len(edges) < m && attempts < 20*m; attempts++ {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		key := int64(src)<<32 | int64(dst)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		w := 1.0
+		if maxW > 0 {
+			w = 1 + rng.Float64()*(maxW-1)
+		}
+		edges = append(edges, graph.Edge{Src: int32(src), Dst: int32(dst), W: w})
+	}
+	g, err := graph.FromEdges(n, edges, maxW > 0)
+	if err != nil {
+		panic("gen: uniform: " + err.Error())
+	}
+	return g
+}
+
+// Chain generates a long path 0→1→…→n-1 with extra random shortcut edges;
+// shortcuts control the diameter (0 shortcuts = diameter n-1). It models
+// the high-diameter character of the Wiki-link crawl.
+func Chain(n, shortcuts int, maxW float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, n-1+shortcuts)
+	for v := 0; v < n-1; v++ {
+		w := 1.0
+		if maxW > 0 {
+			w = 1 + rng.Float64()*(maxW-1)
+		}
+		edges = append(edges, graph.Edge{Src: int32(v), Dst: int32(v + 1), W: w})
+	}
+	for i := 0; i < shortcuts; i++ {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		w := 1.0
+		if maxW > 0 {
+			w = 1 + rng.Float64()*(maxW-1)
+		}
+		edges = append(edges, graph.Edge{Src: int32(src), Dst: int32(dst), W: w})
+	}
+	g, err := graph.FromEdges(n, edges, maxW > 0)
+	if err != nil {
+		panic("gen: chain: " + err.Error())
+	}
+	return g
+}
+
+// LocalChain generates a path 0→1→…→n-1 plus short-range forward skips
+// (each vertex gets ~skips extra edges to targets within span ahead).
+// Unlike Chain's global shortcuts, local skips preserve a large diameter
+// (≈ n/span) at high edge counts — the Wiki-link character of a deep
+// crawl frontier.
+func LocalChain(n, skips, span int, maxW float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, n*(skips+1))
+	w := func() float64 {
+		if maxW > 0 {
+			return 1 + rng.Float64()*(maxW-1)
+		}
+		return 1
+	}
+	for v := 0; v < n-1; v++ {
+		edges = append(edges, graph.Edge{Src: int32(v), Dst: int32(v + 1), W: w()})
+		lim := span
+		if v+lim >= n {
+			lim = n - 1 - v
+		}
+		if lim <= 1 {
+			continue
+		}
+		for i := 0; i < skips; i++ {
+			dst := v + 1 + rng.Intn(lim)
+			edges = append(edges, graph.Edge{Src: int32(v), Dst: int32(dst), W: w()})
+		}
+	}
+	g, err := graph.FromEdges(n, edges, maxW > 0)
+	if err != nil {
+		panic("gen: localchain: " + err.Error())
+	}
+	return g
+}
+
+// DAG generates a random DAG: every edge goes from a lower to a strictly
+// higher vertex id, so vertex order is a topological order. avgOut is the
+// mean out-degree; edges reach forward at most span positions.
+func DAG(n int, avgOut float64, span int, maxW float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for v := 0; v < n-1; v++ {
+		k := int(avgOut)
+		if rng.Float64() < avgOut-float64(k) {
+			k++
+		}
+		lim := span
+		if v+lim >= n {
+			lim = n - 1 - v
+		}
+		if lim <= 0 {
+			continue
+		}
+		seen := map[int]bool{}
+		for i := 0; i < k && len(seen) < lim; i++ {
+			dst := v + 1 + rng.Intn(lim)
+			if seen[dst] {
+				continue
+			}
+			seen[dst] = true
+			w := 1.0
+			if maxW > 0 {
+				w = 1 + rng.Float64()*(maxW-1)
+			}
+			edges = append(edges, graph.Edge{Src: int32(v), Dst: int32(dst), W: w})
+		}
+	}
+	g, err := graph.FromEdges(n, edges, maxW > 0)
+	if err != nil {
+		panic("gen: dag: " + err.Error())
+	}
+	return g
+}
+
+// Trellis generates a Viterbi-style layered trellis: layers full of states
+// with all transitions between consecutive layers, weighted by
+// probabilities in (0,1]. Vertex id = layer*states + state.
+func Trellis(layers, states int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := layers * states
+	var edges []graph.Edge
+	for l := 0; l < layers-1; l++ {
+		for s := 0; s < states; s++ {
+			for t := 0; t < states; t++ {
+				p := 0.05 + 0.95*rng.Float64()
+				edges = append(edges, graph.Edge{
+					Src: int32(l*states + s),
+					Dst: int32((l+1)*states + t),
+					W:   p,
+				})
+			}
+		}
+	}
+	g, err := graph.FromEdges(n, edges, true)
+	if err != nil {
+		panic("gen: trellis: " + err.Error())
+	}
+	return g
+}
+
+// VertexAttr returns a deterministic per-vertex attribute column in
+// [lo,hi), e.g. Adsorption's injection and continuation probabilities.
+func VertexAttr(n int, lo, hi float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return out
+}
+
+// NormalizeWeightsByOut rescales each vertex's out-edge weights so they
+// sum to at most limit, producing a sub-stochastic propagation matrix (as
+// Adsorption/BP/Katz need for convergence). The graph is modified in
+// place via its weight slice.
+func NormalizeWeightsByOut(g *graph.Graph, limit float64) {
+	if !g.Weighted() {
+		return
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		lo, hi := g.EdgeRange(v)
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += g.Weight(i)
+		}
+		if sum <= limit || sum == 0 {
+			continue
+		}
+		scale := limit / sum
+		_, ws := g.Neighbors(v)
+		for i := range ws {
+			ws[i] *= scale
+		}
+	}
+}
+
+// SpectralRadiusEstimate estimates the largest eigenvalue of the (out-)
+// adjacency matrix by a few power-iteration steps — the bound Katz's
+// attenuation must stay under (Katz 1953: α < 1/λ_max) for the metric to
+// be finite.
+func SpectralRadiusEstimate(g *graph.Graph, iters int) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		for i := range y {
+			y[i] = 0
+		}
+		for v := int32(0); v < int32(n); v++ {
+			if x[v] == 0 {
+				continue
+			}
+			lo, hi := g.EdgeRange(v)
+			for e := lo; e < hi; e++ {
+				y[g.Target(e)] += x[v]
+			}
+		}
+		norm := 0.0
+		for _, v := range y {
+			norm += v * v
+		}
+		norm = sqrt(norm)
+		if norm == 0 {
+			return 0
+		}
+		lambda = norm / l2(x)
+		for i := range y {
+			y[i] /= norm
+		}
+		x, y = y, x
+	}
+	return lambda
+}
+
+func l2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return sqrt(s)
+}
+
+func sqrt(v float64) float64 { return math.Sqrt(v) }
+
+// ApproxDiameter estimates the diameter by BFS from a few seeds (lower
+// bound; used by tests and the dataset report).
+func ApproxDiameter(g *graph.Graph, probes int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	best := 0
+	dist := make([]int32, n)
+	for p := 0; p < probes; p++ {
+		start := int32(rng.Intn(n))
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[start] = 0
+		queue := []int32{start}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if int(dist[v]) > best {
+				best = int(dist[v])
+			}
+			ts, _ := g.Neighbors(v)
+			for _, t := range ts {
+				if dist[t] < 0 {
+					dist[t] = dist[v] + 1
+					queue = append(queue, t)
+				}
+			}
+		}
+	}
+	return best
+}
+
+// GiniOutDegree measures degree skew in [0,1): 0 is perfectly even; real
+// social/web graphs sit high. Used to validate the power-law generators.
+func GiniOutDegree(g *graph.Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	degs := make([]float64, n)
+	total := 0.0
+	for v := 0; v < n; v++ {
+		degs[v] = float64(g.OutDegree(int32(v)))
+		total += degs[v]
+	}
+	if total == 0 {
+		return 0
+	}
+	// Sort ascending and compute Gini via the rank formula.
+	sort.Float64s(degs)
+	cum := 0.0
+	for i, d := range degs {
+		cum += d * float64(2*(i+1)-n-1)
+	}
+	return cum / (float64(n) * total)
+}

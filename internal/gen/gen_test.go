@@ -1,0 +1,164 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestRMATDeterministicAndSkewed(t *testing.T) {
+	g1 := RMAT(10, 5000, 0, 42)
+	g2 := RMAT(10, 5000, 0, 42)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed must give same graph")
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("edge mismatch under same seed")
+		}
+	}
+	g3 := RMAT(10, 5000, 0, 43)
+	if g3.NumEdges() == 0 {
+		t.Fatal("empty graph")
+	}
+	if g1.NumEdges() < 4500 {
+		t.Errorf("requested 5000 edges, got %d", g1.NumEdges())
+	}
+	// Power-law: R-MAT should be clearly more skewed than uniform.
+	u := Uniform(1024, 5000, 0, 42)
+	if gr, gu := GiniOutDegree(g1), GiniOutDegree(u); gr <= gu {
+		t.Errorf("R-MAT Gini %v should exceed uniform Gini %v", gr, gu)
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	g := Uniform(200, 1000, 50, 7)
+	if !g.Weighted() {
+		t.Fatal("should be weighted")
+	}
+	for _, e := range g.Edges() {
+		if e.W < 1 || e.W > 50 {
+			t.Fatalf("weight %v outside [1,50]", e.W)
+		}
+	}
+	if Uniform(200, 1000, 0, 7).Weighted() {
+		t.Error("maxW=0 should be unweighted")
+	}
+}
+
+func TestChainDiameter(t *testing.T) {
+	long := Chain(500, 0, 0, 1)
+	short := Uniform(500, 6000, 0, 1)
+	dl := ApproxDiameter(long, 4, 9)
+	ds := ApproxDiameter(short, 4, 9)
+	if dl <= ds {
+		t.Errorf("chain diameter %d should exceed uniform diameter %d", dl, ds)
+	}
+	if long.NumEdges() != 499 {
+		t.Errorf("pure chain edges = %d", long.NumEdges())
+	}
+}
+
+func TestDAGIsAcyclic(t *testing.T) {
+	g := DAG(400, 3, 40, 10, 5)
+	for _, e := range g.Edges() {
+		if e.Dst <= e.Src {
+			t.Fatalf("edge %v violates topological order", e)
+		}
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("empty DAG")
+	}
+}
+
+func TestTrellisShape(t *testing.T) {
+	g := Trellis(5, 4, 3)
+	if g.NumVertices() != 20 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 4*4*4 {
+		t.Fatalf("E = %d", g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if e.W <= 0 || e.W > 1 {
+			t.Fatalf("transition probability %v outside (0,1]", e.W)
+		}
+		if e.Dst/4 != e.Src/4+1 {
+			t.Fatalf("edge %v skips a layer", e)
+		}
+	}
+}
+
+func TestVertexAttrRange(t *testing.T) {
+	a := VertexAttr(1000, 0.2, 0.8, 11)
+	b := VertexAttr(1000, 0.2, 0.8, 11)
+	for i := range a {
+		if a[i] < 0.2 || a[i] >= 0.8 {
+			t.Fatalf("attr %v outside [0.2,0.8)", a[i])
+		}
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same attrs")
+		}
+	}
+}
+
+func TestNormalizeWeightsByOut(t *testing.T) {
+	g := Uniform(100, 800, 10, 3)
+	NormalizeWeightsByOut(g, 0.9)
+	for v := int32(0); v < 100; v++ {
+		_, ws := g.Neighbors(v)
+		sum := 0.0
+		for _, w := range ws {
+			sum += w
+		}
+		if sum > 0.9+1e-9 {
+			t.Fatalf("vertex %d out-weights sum %v > 0.9", v, sum)
+		}
+	}
+}
+
+func TestDatasetsRegistry(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 6 {
+		t.Fatalf("want 6 datasets, got %d", len(ds))
+	}
+	// Relative ordering of original sizes must match Table 2.
+	for i := 1; i < len(ds); i++ {
+		if ds[i].OrigE < ds[i-1].OrigE {
+			t.Errorf("dataset %s breaks Table-2 |E| ordering", ds[i].Name)
+		}
+	}
+	if _, err := DatasetByName("LiveJ"); err != nil {
+		t.Error(err)
+	}
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestDatasetBuildCachedAndScaled(t *testing.T) {
+	d, err := DatasetByName("Flickr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := d.Build(false)
+	g2 := d.Build(false)
+	if g1 != g2 {
+		t.Error("Build should cache")
+	}
+	if g1.NumEdges() < 50000 {
+		t.Errorf("Flickr stand-in too small: %d edges", g1.NumEdges())
+	}
+	gw := d.Build(true)
+	if !gw.Weighted() {
+		t.Error("weighted build should carry weights")
+	}
+}
+
+func TestTinyDatasets(t *testing.T) {
+	for _, d := range TinyDatasets() {
+		g := d.Build(true)
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Errorf("%s: empty", d.Name)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package graphsys
+
+import (
+	"math"
+	"testing"
+
+	"powerlog/internal/gen"
+	"powerlog/internal/graph"
+	"powerlog/internal/ref"
+)
+
+type runner func(*graph.Graph, *Program) []float64
+
+func engines() map[string]runner {
+	return map[string]runner{
+		"sync":        RunSync,
+		"async":       func(g *graph.Graph, p *Program) []float64 { return RunAsync(g, p, 4) },
+		"async1":      func(g *graph.Graph, p *Program) []float64 { return RunAsync(g, p, 1) },
+		"prioritized": RunPrioritized,
+	}
+}
+
+func close1(t *testing.T, name string, got, want []float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	errs := 0
+	for i := range want {
+		g, w := got[i], want[i]
+		if math.IsInf(w, 1) {
+			if !math.IsInf(g, 1) && errs < 3 {
+				t.Errorf("%s: [%d] = %v, want +Inf", name, i, g)
+				errs++
+			}
+			continue
+		}
+		if math.Abs(g-w) > tol*math.Max(1, math.Abs(w)) {
+			if errs < 3 {
+				t.Errorf("%s: [%d] = %v, want %v", name, i, g, w)
+			}
+			errs++
+		}
+	}
+	if errs > 0 {
+		t.Fatalf("%s: %d mismatches", name, errs)
+	}
+}
+
+func TestSSSPEngines(t *testing.T) {
+	g := gen.Uniform(300, 1800, 40, 5)
+	want := ref.Dijkstra(g, 0)
+	for name, run := range engines() {
+		got := run(g, SSSP(0))
+		close1(t, name, got, want, 1e-12)
+	}
+}
+
+func TestCCEngines(t *testing.T) {
+	g := gen.RMAT(8, 1200, 0, 7)
+	want := ref.MinLabelPropagation(g)
+	for name, run := range engines() {
+		got := run(g, CC(g))
+		close1(t, name, got, want, 0)
+	}
+}
+
+func TestPageRankEngines(t *testing.T) {
+	g := gen.RMAT(8, 1200, 0, 9)
+	want := ref.PageRank(g, 500, 1e-10)
+	for name, run := range engines() {
+		got := run(g, PageRank(g, 1e-5))
+		close1(t, name, got, want, 5e-3)
+	}
+}
+
+func TestKatzEngines(t *testing.T) {
+	g := gen.Uniform(200, 1200, 0, 11)
+	want := ref.Katz(g, 0, 10000, 500, 1e-10)
+	for name, run := range engines() {
+		got := run(g, Katz(0, 10000, 0.1, 1e-5))
+		close1(t, name, got, want, 1e-2)
+	}
+}
+
+func TestAdsorptionEngines(t *testing.T) {
+	g := gen.Uniform(200, 1200, 1, 13)
+	gen.NormalizeWeightsByOut(g, 1)
+	n := g.NumVertices()
+	pi := gen.VertexAttr(n, 0.1, 0.5, 1)
+	pc := gen.VertexAttr(n, 0.2, 0.8, 2)
+	inj := make([]float64, n)
+	for i := range inj {
+		inj[i] = 1
+	}
+	want := ref.Adsorption(g, inj, pi, pc, 800, 1e-10)
+	for name, run := range engines() {
+		got := run(g, Adsorption(g, inj, pi, pc, 1e-6))
+		close1(t, name, got, want, 5e-3)
+	}
+}
+
+func TestBPEngines(t *testing.T) {
+	g := gen.Uniform(200, 1200, 1, 17)
+	gen.NormalizeWeightsByOut(g, 1)
+	n := g.NumVertices()
+	initial := gen.VertexAttr(n, 0.1, 1, 3)
+	h := gen.VertexAttr(n, 0.2, 0.9, 4)
+	want := ref.BeliefPropagation(g, initial, h, 800, 1e-10)
+	for name, run := range engines() {
+		got := run(g, BeliefPropagation(g, initial, h, 1e-6))
+		close1(t, name, got, want, 5e-3)
+	}
+}
+
+func TestMaxRoundsDefault(t *testing.T) {
+	p := &Program{}
+	if p.maxRounds() != 10000 {
+		t.Error("default rounds")
+	}
+	p.MaxRounds = 7
+	if p.maxRounds() != 7 {
+		t.Error("explicit rounds")
+	}
+}

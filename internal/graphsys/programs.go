@@ -1,0 +1,124 @@
+package graphsys
+
+import (
+	"powerlog/internal/agg"
+	"powerlog/internal/graph"
+)
+
+// The hand-coded algorithm library: each constructor returns the vertex
+// program the comparison systems run in Figure 10 (PowerGraph for SSSP
+// and CC, Maiter for PageRank/Adsorption/Katz, Prom for BP).
+
+// SSSP builds the shortest-path program from src.
+func SSSP(src int32) *Program {
+	return &Program{
+		Op:   agg.ByKind(agg.Min),
+		Init: []Delta{{V: src, Val: 0}},
+		Scatter: func(g *graph.Graph, v int32, d float64, emit func(int32, float64)) {
+			lo, hi := g.EdgeRange(v)
+			for e := lo; e < hi; e++ {
+				emit(g.Target(e), d+g.Weight(e))
+			}
+		},
+	}
+}
+
+// CC builds min-label propagation over directed edges (the paper's
+// Program 3 semantics).
+func CC(g *graph.Graph) *Program {
+	var init []Delta
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if g.OutDegree(v) > 0 {
+			init = append(init, Delta{V: v, Val: float64(v)})
+		}
+	}
+	return &Program{
+		Op:   agg.ByKind(agg.Min),
+		Init: init,
+		Scatter: func(g *graph.Graph, v int32, d float64, emit func(int32, float64)) {
+			lo, hi := g.EdgeRange(v)
+			for e := lo; e < hi; e++ {
+				emit(g.Target(e), d)
+			}
+		},
+	}
+}
+
+// PageRank builds the delta-based accumulative PageRank (Maiter's model;
+// the paper's Program 2.b).
+func PageRank(g *graph.Graph, eps float64) *Program {
+	n := g.NumVertices()
+	deg := g.OutDegrees()
+	init := make([]Delta, n)
+	for v := 0; v < n; v++ {
+		init[v] = Delta{V: int32(v), Val: 0.15}
+	}
+	return &Program{
+		Op:      agg.ByKind(agg.Sum),
+		Init:    init,
+		Epsilon: eps,
+		Scatter: func(g *graph.Graph, v int32, d float64, emit func(int32, float64)) {
+			lo, hi := g.EdgeRange(v)
+			for e := lo; e < hi; e++ {
+				emit(g.Target(e), 0.85*d/deg[v])
+			}
+		},
+	}
+}
+
+// Adsorption builds the delta-based label propagation of Program 4.
+func Adsorption(g *graph.Graph, inj, pi, pc []float64, eps float64) *Program {
+	n := g.NumVertices()
+	init := make([]Delta, n)
+	for v := 0; v < n; v++ {
+		init[v] = Delta{V: int32(v), Val: inj[v] * pi[v]}
+	}
+	return &Program{
+		Op:      agg.ByKind(agg.Sum),
+		Init:    init,
+		Epsilon: eps,
+		Scatter: func(g *graph.Graph, v int32, d float64, emit func(int32, float64)) {
+			lo, hi := g.EdgeRange(v)
+			for e := lo; e < hi; e++ {
+				emit(g.Target(e), 0.7*d*g.Weight(e)*pc[v])
+			}
+		},
+	}
+}
+
+// Katz builds the Katz-metric program of Program 5 with attenuation
+// alpha (which must be below 1/λ_max of the graph's adjacency matrix).
+func Katz(src int32, seed, alpha, eps float64) *Program {
+	return &Program{
+		Op:      agg.ByKind(agg.Sum),
+		Init:    []Delta{{V: src, Val: seed}},
+		Epsilon: eps,
+		Scatter: func(g *graph.Graph, v int32, d float64, emit func(int32, float64)) {
+			lo, hi := g.EdgeRange(v)
+			for e := lo; e < hi; e++ {
+				emit(g.Target(e), alpha*d)
+			}
+		},
+	}
+}
+
+// BeliefPropagation builds the vertex-abstracted BP of Program 6.
+func BeliefPropagation(g *graph.Graph, initial, h []float64, eps float64) *Program {
+	var init []Delta
+	for v := 0; v < g.NumVertices(); v++ {
+		if initial[v] != 0 {
+			init = append(init, Delta{V: int32(v), Val: initial[v]})
+		}
+	}
+	return &Program{
+		Op:      agg.ByKind(agg.Sum),
+		Init:    init,
+		Epsilon: eps,
+		Scatter: func(g *graph.Graph, v int32, d float64, emit func(int32, float64)) {
+			lo, hi := g.EdgeRange(v)
+			for e := lo; e < hi; e++ {
+				emit(g.Target(e), 0.8*d*g.Weight(e)*h[v])
+			}
+		},
+	}
+}

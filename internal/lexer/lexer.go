@@ -1,0 +1,315 @@
+// Package lexer tokenizes Datalog source in the paper's surface syntax.
+// It replaces the ANTLR-generated lexer used by the original PowerLog.
+//
+// Comments: "//" and "%" to end of line, plus "/* ... */" blocks.
+// The Greek letter Δ is an ordinary identifier character so termination
+// clauses may be written {sum[Δa] < 0.001}; the ASCII spelling
+// {sum[delta a] < 0.001} is also accepted by the parser.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Kind is a token kind.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Number
+	LParen   // (
+	RParen   // )
+	LBracket // [
+	RBracket // ]
+	LBrace   // {
+	RBrace   // }
+	Comma    // ,
+	Period   // .
+	Semi     // ;
+	Implies  // :-
+	Eq       // =
+	Neq      // !=
+	Lt       // <
+	Gt       // >
+	Le       // <=
+	Ge       // >=
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Slash    // /
+	Wildcard // _
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of input", Ident: "identifier", Number: "number",
+	LParen: "'('", RParen: "')'", LBracket: "'['", RBracket: "']'",
+	LBrace: "'{'", RBrace: "'}'", Comma: "','", Period: "'.'",
+	Semi: "';'", Implies: "':-'", Eq: "'='", Neq: "'!='",
+	Lt: "'<'", Gt: "'>'", Le: "'<='", Ge: "'>='",
+	Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'", Wildcard: "'_'",
+}
+
+// String returns a human-readable token kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is a lexed token with source position.
+type Token struct {
+	Kind Kind
+	Text string  // raw text for Ident
+	Num  float64 // value for Number
+	Line int     // 1-based
+	Col  int     // 1-based, in runes
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case Number:
+		return fmt.Sprintf("number %v", t.Num)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a lexical error with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenizes src, returning the full token stream terminated by an EOF
+// token, or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+	l.pos += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == 'Δ' || r == '∆'
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return &Error{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+				}
+				if l.peek() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	mk := func(k Kind) Token { return Token{Kind: k, Line: line, Col: col} }
+	if l.pos >= len(l.src) {
+		return mk(EOF), nil
+	}
+	r := l.peek()
+	switch {
+	case isIdentStart(r):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		return Token{Kind: Ident, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+	case unicode.IsDigit(r):
+		return l.number(line, col)
+	}
+	l.advance()
+	switch r {
+	case '(':
+		return mk(LParen), nil
+	case ')':
+		return mk(RParen), nil
+	case '[':
+		return mk(LBracket), nil
+	case ']':
+		return mk(RBracket), nil
+	case '{':
+		return mk(LBrace), nil
+	case '}':
+		return mk(RBrace), nil
+	case ',':
+		return mk(Comma), nil
+	case ';':
+		return mk(Semi), nil
+	case '+':
+		return mk(Plus), nil
+	case '-':
+		return mk(Minus), nil
+	case '*':
+		return mk(Star), nil
+	case '/':
+		return mk(Slash), nil
+	case '_':
+		// A bare underscore is a wildcard; _foo would be an identifier in
+		// many Datalogs but the paper never uses it, so reject to be safe.
+		if isIdentPart(l.peek()) {
+			return Token{}, &Error{Line: line, Col: col, Msg: "identifiers may not start with '_'"}
+		}
+		return mk(Wildcard), nil
+	case '.':
+		// ".5" style numbers never appear after whitespace in the grammar
+		// positions where '.' is legal, so '.' is always the rule period.
+		return mk(Period), nil
+	case ':':
+		if l.peek() == '-' {
+			l.advance()
+			return mk(Implies), nil
+		}
+		return Token{}, &Error{Line: line, Col: col, Msg: "expected ':-'"}
+	case '=':
+		if l.peek() == '=' { // tolerate '==' as '='
+			l.advance()
+		}
+		return mk(Eq), nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(Neq), nil
+		}
+		return Token{}, &Error{Line: line, Col: col, Msg: "expected '!='"}
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(Le), nil
+		}
+		return mk(Lt), nil
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(Ge), nil
+		}
+		return mk(Gt), nil
+	case '·': // '·' middle dot used by the paper for multiplication
+		return mk(Star), nil
+	}
+	return Token{}, &Error{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", r)}
+}
+
+func (l *lexer) number(line, col int) (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+		l.advance()
+	}
+	// Fraction: only when the dot is followed by a digit; otherwise the dot
+	// is a rule-terminating period as in "d=0.".
+	if l.peek() == '.' && l.pos+1 < len(l.src) {
+		if next, _ := utf8.DecodeRuneInString(l.src[l.pos+1:]); unicode.IsDigit(next) {
+			l.advance() // '.'
+			for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+				l.advance()
+			}
+		}
+	}
+	// Exponent.
+	if r := l.peek(); r == 'e' || r == 'E' {
+		save := l.pos
+		l.advance()
+		if s := l.peek(); s == '+' || s == '-' {
+			l.advance()
+		}
+		if !unicode.IsDigit(l.peek()) {
+			l.pos = save // not an exponent; back off (col drift is harmless here)
+		} else {
+			for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+				l.advance()
+			}
+		}
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return Token{}, &Error{Line: line, Col: col, Msg: fmt.Sprintf("bad number %q", text)}
+	}
+	return Token{Kind: Number, Num: v, Line: line, Col: col}, nil
+}

@@ -1,0 +1,199 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	out := make([]Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds(t, "sssp(Y,min[dy]) :- sssp(X,dx).")
+	want := []Kind{Ident, LParen, Ident, Comma, Ident, LBracket, Ident, RBracket, RParen,
+		Implies, Ident, LParen, Ident, Comma, Ident, RParen, Period, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := map[string]float64{
+		"0":      0,
+		"42":     42,
+		"0.85":   0.85,
+		"1e3":    1000,
+		"2.5e-2": 0.025,
+		"7E+1":   70,
+	}
+	for src, want := range cases {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Errorf("Lex(%q): %v", src, err)
+			continue
+		}
+		if toks[0].Kind != Number || toks[0].Num != want {
+			t.Errorf("Lex(%q) = %v (%v), want %v", src, toks[0].Kind, toks[0].Num, want)
+		}
+	}
+}
+
+func TestNumberThenPeriod(t *testing.T) {
+	// "d=0." — the dot terminates the rule, it is not a fraction.
+	toks, err := Lex("d=0.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != Number || toks[2].Num != 0 || toks[3].Kind != Period {
+		t.Fatalf("toks = %v", toks)
+	}
+	// "0.5." — fraction then period.
+	toks, err = Lex("0.5.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Num != 0.5 || toks[1].Kind != Period {
+		t.Fatalf("toks = %v", toks)
+	}
+	// "1e." — the 'e' is not an exponent; it backs off into an error or
+	// separate tokens. The lexer treats "1" then ident "e"? 'e' follows a
+	// digit so it tried exponent, backed off; pos resets to before 'e'.
+	toks, err = Lex("1e x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != Number || toks[0].Num != 1 || toks[1].Kind != Ident || toks[1].Text != "e" {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestDeltaIdentifiers(t *testing.T) {
+	toks, err := Lex("Δa ∆b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "Δa" || toks[1].Text != "∆b" {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	got := kinds(t, "a <= b >= c < d > e != f = g == h")
+	want := []Kind{Ident, Le, Ident, Ge, Ident, Lt, Ident, Gt, Ident, Neq, Ident, Eq, Ident, Eq, Ident, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `a % line comment
+// another
+/* block
+   spanning */ b`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestMiddleDot(t *testing.T) {
+	toks, err := Lex("a · b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != Star {
+		t.Fatalf("· should lex as multiplication: %v", toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Lex("ab\n  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("ab at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("cd at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"a : b", "expected ':-'"},
+		{"a ! b", "expected '!='"},
+		{"_bad", "may not start with '_'"},
+		{"a @ b", "unexpected character"},
+		{"/* unterminated", "unterminated block comment"},
+	}
+	for _, c := range cases {
+		_, err := Lex(c.src)
+		if err == nil {
+			t.Errorf("Lex(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Lex(%q) error = %q, want substring %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := Lex("abc 1.5 (")
+	if !strings.Contains(toks[0].String(), "abc") {
+		t.Error("ident string")
+	}
+	if !strings.Contains(toks[1].String(), "1.5") {
+		t.Error("number string")
+	}
+	if toks[2].String() != "'('" {
+		t.Errorf("paren string = %q", toks[2].String())
+	}
+	if EOF.String() != "end of input" {
+		t.Error("EOF name")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestWildcardVsUnderscore(t *testing.T) {
+	toks, err := Lex("edge(X,_)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[4].Kind != Wildcard {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	_, err := Lex("ok\nbad @")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.HasPrefix(err.Error(), "2:5") {
+		t.Errorf("error position = %q, want 2:5 prefix", err)
+	}
+}

@@ -1,0 +1,415 @@
+// Package monotable implements the MonoTable of paper §5.2 (Figure 7):
+// the distributed mutable in-memory table holding the state of a
+// recursive computation. Each row has an Accumulation entry (the result
+// x, folded monotonically) and an Intermediate entry (the aggregated
+// delta g(Δx)). Updates follow the paper's three-step protocol:
+//
+//  1. atomically exchange the Intermediate with the aggregate identity
+//     into a local tmp (so a delta is never aggregated twice),
+//  2. fold tmp into the Accumulation at the same row,
+//  3. apply f to tmp and atomically aggregate the results into the
+//     Intermediate entries of dependent rows (possibly on other workers).
+//
+// Steps 1–2 are Drain+FoldAcc; step 3 is FoldDelta (via message passing
+// for remote rows). Auxiliaries (per-vertex attribute columns) live in
+// the compiled plan, not in the table.
+//
+// Two shard layouts are provided: a dense array shard for vertex-keyed
+// programs (key space [0,n) striped across workers) and a sparse map
+// shard for pair-keyed programs such as APSP and SimRank.
+package monotable
+
+import (
+	"sync"
+
+	"powerlog/internal/agg"
+)
+
+// Table is one worker's shard of the MonoTable.
+type Table interface {
+	// Op returns the aggregate the table folds with.
+	Op() *agg.Op
+
+	// FoldDelta aggregates v into the Intermediate entry of key (protocol
+	// step 3 at the receiving row). It reports whether the entry changed
+	// and marks the row dirty when it did.
+	FoldDelta(key int64, v float64) bool
+
+	// Drain atomically exchanges key's Intermediate with the identity and
+	// returns the previous value (protocol steps 1–2 fetch); ok is false
+	// when the entry already held the identity.
+	Drain(key int64) (v float64, ok bool)
+
+	// Acc returns the Accumulation entry of key (identity if untouched).
+	Acc(key int64) float64
+
+	// FoldAcc folds v into key's Accumulation. It reports whether the
+	// entry improved and the magnitude of the change (an identity→v jump
+	// improves with magnitude |v|, so a shortest-path source at distance
+	// 0 still counts as an improvement).
+	FoldAcc(key int64, v float64) (improved bool, change float64)
+
+	// ScanDirty drains the dirty set, invoking f for each dirty key. Keys
+	// made dirty again during the scan are observed by a later scan.
+	ScanDirty(f func(key int64))
+
+	// HasDirty reports whether any row is marked dirty.
+	HasDirty() bool
+
+	// Range iterates all rows with a non-identity Accumulation.
+	Range(f func(key int64, acc float64) bool)
+
+	// RangeRows iterates all rows where the Accumulation or the
+	// Intermediate is non-identity — the state a checkpoint must capture.
+	RangeRows(f func(key int64, acc, inter float64) bool)
+
+	// SetAcc overwrites key's Accumulation (checkpoint restore only; it
+	// bypasses the monotone fold).
+	SetAcc(key int64, v float64)
+
+	// Len returns the number of rows with non-identity Accumulation.
+	Len() int
+}
+
+// Dense is an array-backed shard covering the global keys
+// {offset + i*stride : 0 <= i < size} — PowerLog's modulo partitioning
+// of a dense vertex key space across `stride` workers.
+type Dense struct {
+	op             *agg.Op
+	stride, offset int64
+	acc            []uint64
+	inter          []uint64
+	dirty          []uint32 // atomic bitmap over local slots
+}
+
+// NewDense creates a dense shard for worker `offset` of `stride` workers
+// over the global key space [0, n).
+func NewDense(op *agg.Op, n int, stride, offset int64) *Dense {
+	if stride <= 0 || offset < 0 || offset >= stride {
+		panic("monotable: bad stride/offset")
+	}
+	size := int((int64(n) - offset + stride - 1) / stride)
+	if size < 0 {
+		size = 0
+	}
+	d := &Dense{
+		op:     op,
+		stride: stride,
+		offset: offset,
+		acc:    make([]uint64, size),
+		inter:  make([]uint64, size),
+		dirty:  make([]uint32, (size+31)/32),
+	}
+	for i := range d.acc {
+		agg.Store(&d.acc[i], op.Identity())
+		agg.Store(&d.inter[i], op.Identity())
+	}
+	return d
+}
+
+func (d *Dense) slot(key int64) int { return int((key - d.offset) / d.stride) }
+
+// globalKey maps a local slot back to its global key.
+func (d *Dense) globalKey(slot int) int64 { return d.offset + int64(slot)*d.stride }
+
+// Op implements Table.
+func (d *Dense) Op() *agg.Op { return d.op }
+
+// FoldDelta implements Table.
+func (d *Dense) FoldDelta(key int64, v float64) bool {
+	s := d.slot(key)
+	if !d.op.AtomicFold(&d.inter[s], v) {
+		return false
+	}
+	markDirty(d.dirty, s)
+	return true
+}
+
+// Drain implements Table.
+func (d *Dense) Drain(key int64) (float64, bool) {
+	s := d.slot(key)
+	v := d.op.AtomicExchangeIdentity(&d.inter[s])
+	if v == d.op.Identity() {
+		return v, false
+	}
+	return v, true
+}
+
+// Acc implements Table.
+func (d *Dense) Acc(key int64) float64 { return agg.Load(&d.acc[d.slot(key)]) }
+
+// FoldAcc implements Table.
+func (d *Dense) FoldAcc(key int64, v float64) (bool, float64) {
+	return foldAccCell(d.op, &d.acc[d.slot(key)], v)
+}
+
+// ScanDirty implements Table.
+func (d *Dense) ScanDirty(f func(key int64)) {
+	for w := range d.dirty {
+		bits := swapWord(&d.dirty[w], 0)
+		for bits != 0 {
+			b := bits & (-bits)
+			bit := trailingZeros32(bits)
+			bits ^= b
+			slot := w*32 + bit
+			if slot < len(d.acc) {
+				f(d.globalKey(slot))
+			}
+		}
+	}
+}
+
+// HasDirty implements Table.
+func (d *Dense) HasDirty() bool {
+	for w := range d.dirty {
+		if loadWord(&d.dirty[w]) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Range implements Table.
+func (d *Dense) Range(f func(key int64, acc float64) bool) {
+	id := d.op.Identity()
+	for s := range d.acc {
+		v := agg.Load(&d.acc[s])
+		if v == id {
+			continue
+		}
+		if !f(d.globalKey(s), v) {
+			return
+		}
+	}
+}
+
+// RangeRows implements Table.
+func (d *Dense) RangeRows(f func(key int64, acc, inter float64) bool) {
+	id := d.op.Identity()
+	for s := range d.acc {
+		a := agg.Load(&d.acc[s])
+		i := agg.Load(&d.inter[s])
+		if a == id && i == id {
+			continue
+		}
+		if !f(d.globalKey(s), a, i) {
+			return
+		}
+	}
+}
+
+// SetAcc implements Table.
+func (d *Dense) SetAcc(key int64, v float64) {
+	agg.Store(&d.acc[d.slot(key)], v)
+}
+
+// Len implements Table.
+func (d *Dense) Len() int {
+	id := d.op.Identity()
+	n := 0
+	for s := range d.acc {
+		if agg.Load(&d.acc[s]) != id {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparse is a map-backed shard for pair-keyed programs. It serialises
+// access with a mutex; the per-row entries still use the atomic protocol
+// so Drain and FoldDelta interleave correctly with readers.
+type Sparse struct {
+	op    *agg.Op
+	mu    sync.Mutex
+	rows  map[int64]*sparseRow
+	dirty map[int64]struct{}
+}
+
+type sparseRow struct {
+	acc, inter uint64
+}
+
+// NewSparse creates an empty sparse shard.
+func NewSparse(op *agg.Op) *Sparse {
+	return &Sparse{op: op, rows: map[int64]*sparseRow{}, dirty: map[int64]struct{}{}}
+}
+
+// Op implements Table.
+func (s *Sparse) Op() *agg.Op { return s.op }
+
+func (s *Sparse) row(key int64) *sparseRow {
+	r, ok := s.rows[key]
+	if !ok {
+		r = &sparseRow{}
+		agg.Store(&r.acc, s.op.Identity())
+		agg.Store(&r.inter, s.op.Identity())
+		s.rows[key] = r
+	}
+	return r
+}
+
+// FoldDelta implements Table.
+func (s *Sparse) FoldDelta(key int64, v float64) bool {
+	s.mu.Lock()
+	r := s.row(key)
+	changed := s.op.AtomicFold(&r.inter, v)
+	if changed {
+		s.dirty[key] = struct{}{}
+	}
+	s.mu.Unlock()
+	return changed
+}
+
+// Drain implements Table.
+func (s *Sparse) Drain(key int64) (float64, bool) {
+	s.mu.Lock()
+	r := s.row(key)
+	s.mu.Unlock()
+	v := s.op.AtomicExchangeIdentity(&r.inter)
+	if v == s.op.Identity() {
+		return v, false
+	}
+	return v, true
+}
+
+// Acc implements Table.
+func (s *Sparse) Acc(key int64) float64 {
+	s.mu.Lock()
+	r, ok := s.rows[key]
+	s.mu.Unlock()
+	if !ok {
+		return s.op.Identity()
+	}
+	return agg.Load(&r.acc)
+}
+
+// FoldAcc implements Table.
+func (s *Sparse) FoldAcc(key int64, v float64) (bool, float64) {
+	s.mu.Lock()
+	r := s.row(key)
+	s.mu.Unlock()
+	return foldAccCell(s.op, &r.acc, v)
+}
+
+// ScanDirty implements Table.
+func (s *Sparse) ScanDirty(f func(key int64)) {
+	s.mu.Lock()
+	keys := make([]int64, 0, len(s.dirty))
+	for k := range s.dirty {
+		keys = append(keys, k)
+	}
+	s.dirty = map[int64]struct{}{}
+	s.mu.Unlock()
+	for _, k := range keys {
+		f(k)
+	}
+}
+
+// HasDirty implements Table.
+func (s *Sparse) HasDirty() bool {
+	s.mu.Lock()
+	n := len(s.dirty)
+	s.mu.Unlock()
+	return n != 0
+}
+
+// Range implements Table.
+func (s *Sparse) Range(f func(key int64, acc float64) bool) {
+	s.mu.Lock()
+	type kv struct {
+		k int64
+		v float64
+	}
+	id := s.op.Identity()
+	all := make([]kv, 0, len(s.rows))
+	for k, r := range s.rows {
+		if v := agg.Load(&r.acc); v != id {
+			all = append(all, kv{k, v})
+		}
+	}
+	s.mu.Unlock()
+	for _, e := range all {
+		if !f(e.k, e.v) {
+			return
+		}
+	}
+}
+
+// RangeRows implements Table.
+func (s *Sparse) RangeRows(f func(key int64, acc, inter float64) bool) {
+	s.mu.Lock()
+	type kv struct {
+		k        int64
+		acc, del float64
+	}
+	id := s.op.Identity()
+	all := make([]kv, 0, len(s.rows))
+	for k, r := range s.rows {
+		a, d := agg.Load(&r.acc), agg.Load(&r.inter)
+		if a == id && d == id {
+			continue
+		}
+		all = append(all, kv{k, a, d})
+	}
+	s.mu.Unlock()
+	for _, e := range all {
+		if !f(e.k, e.acc, e.del) {
+			return
+		}
+	}
+}
+
+// SetAcc implements Table.
+func (s *Sparse) SetAcc(key int64, v float64) {
+	s.mu.Lock()
+	r := s.row(key)
+	s.mu.Unlock()
+	agg.Store(&r.acc, v)
+}
+
+// Len implements Table.
+func (s *Sparse) Len() int {
+	n := 0
+	s.Range(func(int64, float64) bool { n++; return true })
+	return n
+}
+
+// foldAccCell folds v into an accumulation cell, reporting improvement
+// and |change|.
+func foldAccCell(op *agg.Op, cell *uint64, v float64) (bool, float64) {
+	for {
+		oldBits := loadU64(cell)
+		old := fromBits(oldBits)
+		next := op.Fold(old, v)
+		if next == old {
+			return false, 0
+		}
+		if casU64(cell, oldBits, toBits(next)) {
+			return true, magnitude(op, old, next, v)
+		}
+	}
+}
+
+// magnitude computes the ε-termination contribution of an accumulation
+// change: for selective aggregates the distance moved (when finite); for
+// combining aggregates the folded delta itself.
+func magnitude(op *agg.Op, old, next, v float64) float64 {
+	if op.Selective() {
+		d := old - next
+		if d < 0 {
+			d = -d
+		}
+		if d != d || d > 1e300 { // NaN or from-identity jump: count the value move
+			return abs(v)
+		}
+		return d
+	}
+	return abs(v)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,441 @@
+// Package parser implements a recursive-descent parser for the paper's
+// Datalog surface syntax, producing internal/ast trees. It replaces the
+// ANTLR frontend of the original PowerLog.
+//
+// Grammar (EBNF):
+//
+//	program     = { rule } .
+//	rule        = [ label "." ] pred ":-" bodyList "." .
+//	bodyList    = bodyOrTerm { ";" [ ":-" ] bodyOrTerm } .
+//	bodyOrTerm  = body | termination .
+//	body        = atom { "," atom } .
+//	atom        = pred | compare .
+//	pred        = ident "(" term { "," term } ")" .
+//	term        = "_" | aggTerm | expr .
+//	aggTerm     = aggName "[" [ "delta" ] ident "]" .
+//	compare     = expr cmpOp expr .
+//	termination = "{" aggName "[" deltaVar "]" "<" number "}" .
+//	expr        = precedence-climbing over + - * / unary- calls parens .
+//
+// Facts (rules with no body, e.g. "edge(1,2,5).") are accepted and get an
+// empty body list.
+package parser
+
+import (
+	"fmt"
+
+	"powerlog/internal/ast"
+	"powerlog/internal/expr"
+	"powerlog/internal/lexer"
+)
+
+// aggNames are the head-term aggregate spellings accepted by the parser;
+// semantic validity (e.g. mean being non-associative) is the checker's job.
+var aggNames = map[string]bool{
+	"min": true, "max": true, "sum": true, "count": true, "mean": true, "avg": true,
+	"mmin": true, "mmax": true, "msum": true, "mcount": true,
+}
+
+// Error is a parse error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses a complete Datalog program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{}
+	for p.peek().Kind != lexer.EOF {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if len(prog.Rules) == 0 {
+		return nil, &Error{Line: 1, Col: 1, Msg: "empty program"}
+	}
+	return prog, nil
+}
+
+// ParseRule parses a single rule (convenience for tests and the REPL).
+func ParseRule(src string) (*ast.Rule, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Rules) != 1 {
+		return nil, fmt.Errorf("parser: expected exactly one rule, got %d", len(prog.Rules))
+	}
+	return prog.Rules[0], nil
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+func (p *parser) peek() lexer.Token { return p.toks[p.pos] }
+func (p *parser) peek2() lexer.Token { // token after next, EOF-safe
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() lexer.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(t lexer.Token, format string, args ...any) error {
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, p.errorf(t, "expected %v, found %v", k, t)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) rule() (*ast.Rule, error) {
+	r := &ast.Rule{Line: p.peek().Line}
+	// Optional label: IDENT '.' followed by another IDENT '(' (the head).
+	if p.peek().Kind == lexer.Ident && p.peek2().Kind == lexer.Period {
+		r.Label = p.advance().Text
+		p.advance() // '.'
+	}
+	head, err := p.pred()
+	if err != nil {
+		return nil, err
+	}
+	r.Head = head
+	if p.peek().Kind == lexer.Period { // fact
+		p.advance()
+		return r, nil
+	}
+	if _, err := p.expect(lexer.Implies); err != nil {
+		return nil, err
+	}
+	for {
+		if p.peek().Kind == lexer.LBrace {
+			term, err := p.termination()
+			if err != nil {
+				return nil, err
+			}
+			if r.Term != nil {
+				return nil, p.errorf(p.peek(), "duplicate termination clause")
+			}
+			r.Term = term
+		} else {
+			body, err := p.body()
+			if err != nil {
+				return nil, err
+			}
+			r.Bodies = append(r.Bodies, body)
+		}
+		switch p.peek().Kind {
+		case lexer.Semi:
+			p.advance()
+			if p.peek().Kind == lexer.Implies { // "; :-" style continuation
+				p.advance()
+			}
+		case lexer.Period:
+			p.advance()
+			if len(r.Bodies) == 0 {
+				return nil, p.errorf(p.peek(), "rule %s has a termination clause but no body", r.Head.Name)
+			}
+			return r, nil
+		default:
+			return nil, p.errorf(p.peek(), "expected ';' or '.', found %v", p.peek())
+		}
+	}
+}
+
+func (p *parser) body() (*ast.Body, error) {
+	b := &ast.Body{}
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		b.Atoms = append(b.Atoms, a)
+		if p.peek().Kind != lexer.Comma {
+			return b, nil
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) atom() (*ast.Atom, error) {
+	// IDENT '(' and not a builtin call ⇒ predicate atom. Builtin function
+	// names (relu, abs, ...) can open a comparison expression instead.
+	if p.peek().Kind == lexer.Ident && p.peek2().Kind == lexer.LParen {
+		if _, isBuiltin := expr.Builtins[p.peek().Text]; !isBuiltin {
+			pr, err := p.pred()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Atom{Kind: ast.AtomPred, Pred: pr}, nil
+		}
+	}
+	cmp, err := p.compare()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Atom{Kind: ast.AtomCompare, Cmp: cmp}, nil
+}
+
+func (p *parser) pred() (*ast.Pred, error) {
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	pr := &ast.Pred{Name: name.Text}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		pr.Args = append(pr.Args, t)
+		switch p.peek().Kind {
+		case lexer.Comma:
+			p.advance()
+		case lexer.RParen:
+			p.advance()
+			return pr, nil
+		default:
+			return nil, p.errorf(p.peek(), "expected ',' or ')' in %s(...), found %v", pr.Name, p.peek())
+		}
+	}
+}
+
+func (p *parser) term() (*ast.Term, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == lexer.Wildcard:
+		p.advance()
+		return &ast.Term{Kind: ast.TermWildcard}, nil
+	case t.Kind == lexer.Ident && aggNames[t.Text] && p.peek2().Kind == lexer.LBracket:
+		p.advance() // agg name
+		p.advance() // '['
+		v, err := p.deltaIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RBracket); err != nil {
+			return nil, err
+		}
+		return &ast.Term{Kind: ast.TermAgg, Agg: &ast.AggTerm{Op: t.Text, Var: v}}, nil
+	}
+	e, err := p.expr(0)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case e.Kind == expr.KVar:
+		return &ast.Term{Kind: ast.TermVar, Var: e.Name}, nil
+	case e.Kind == expr.KNum:
+		return &ast.Term{Kind: ast.TermNum, Num: e.Val}, nil
+	default:
+		return &ast.Term{Kind: ast.TermArith, Expr: e}, nil
+	}
+}
+
+// deltaIdent parses an identifier optionally prefixed by "delta" or the
+// Greek Δ glued to the name (Δa lexes as one identifier).
+func (p *parser) deltaIdent() (string, error) {
+	t, err := p.expect(lexer.Ident)
+	if err != nil {
+		return "", err
+	}
+	name := t.Text
+	if name == "delta" && p.peek().Kind == lexer.Ident {
+		name = p.advance().Text
+	} else {
+		for _, prefix := range []string{"Δ", "∆"} {
+			if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+				name = name[len(prefix):]
+				break
+			}
+		}
+	}
+	return name, nil
+}
+
+func (p *parser) compare() (*ast.Compare, error) {
+	lhs, err := p.expr(0)
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	var op string
+	switch t.Kind {
+	case lexer.Eq:
+		op = "="
+	case lexer.Neq:
+		op = "!="
+	case lexer.Lt:
+		op = "<"
+	case lexer.Gt:
+		op = ">"
+	case lexer.Le:
+		op = "<="
+	case lexer.Ge:
+		op = ">="
+	default:
+		return nil, p.errorf(t, "expected comparison operator, found %v", t)
+	}
+	p.advance()
+	rhs, err := p.expr(0)
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Compare{Op: op, LHS: lhs, RHS: rhs}, nil
+}
+
+func (p *parser) termination() (*ast.Termination, error) {
+	if _, err := p.expect(lexer.LBrace); err != nil {
+		return nil, err
+	}
+	aggTok, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if !aggNames[aggTok.Text] {
+		return nil, p.errorf(aggTok, "unknown aggregate %q in termination clause", aggTok.Text)
+	}
+	if _, err := p.expect(lexer.LBracket); err != nil {
+		return nil, err
+	}
+	v, err := p.deltaIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RBracket); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Lt); err != nil {
+		return nil, err
+	}
+	num, err := p.expect(lexer.Number)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RBrace); err != nil {
+		return nil, err
+	}
+	return &ast.Termination{Agg: aggTok.Text, Var: v, Threshold: num.Num}, nil
+}
+
+// Expression parsing with precedence climbing.
+// minPrec: 0 = additive, 1 = multiplicative, 2 = unary.
+func (p *parser) expr(minPrec int) (*expr.Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		var prec int
+		switch t.Kind {
+		case lexer.Plus, lexer.Minus:
+			prec = 0
+		case lexer.Star, lexer.Slash:
+			prec = 1
+		default:
+			return lhs, nil
+		}
+		if prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.expr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Kind {
+		case lexer.Plus:
+			lhs = expr.Add(lhs, rhs)
+		case lexer.Minus:
+			lhs = expr.Sub(lhs, rhs)
+		case lexer.Star:
+			lhs = expr.Mul(lhs, rhs)
+		case lexer.Slash:
+			lhs = expr.Div(lhs, rhs)
+		}
+	}
+}
+
+func (p *parser) unary() (*expr.Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case lexer.Minus:
+		p.advance()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Neg(e), nil
+	case lexer.Number:
+		p.advance()
+		return expr.Num(t.Num), nil
+	case lexer.LParen:
+		p.advance()
+		e, err := p.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case lexer.Ident:
+		p.advance()
+		if p.peek().Kind == lexer.LParen { // builtin call
+			p.advance()
+			var args []*expr.Expr
+			if p.peek().Kind != lexer.RParen {
+				for {
+					a, err := p.expr(0)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().Kind != lexer.Comma {
+						break
+					}
+					p.advance()
+				}
+			}
+			if _, err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+			call := expr.Call(t.Text, args...)
+			if err := call.Check(); err != nil {
+				return nil, p.errorf(t, "%v", err)
+			}
+			return call, nil
+		}
+		return expr.Var(t.Text), nil
+	default:
+		return nil, p.errorf(t, "expected expression, found %v", t)
+	}
+}

@@ -1,0 +1,257 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"powerlog/internal/ast"
+	"powerlog/internal/expr"
+)
+
+const ssspSrc = `
+r1. sssp(X,d) :- X=1, d=0.
+r2. sssp(Y,min[dy]) :- sssp(X,dx), edge(X,Y,dxy), dy = dx + dxy.
+`
+
+const pagerankSrc = `
+r1. degree(X,count[Y]) :- edge(X,Y).
+r2. rank(0,X,r) :- node(X), r = 0.
+r3. rank(i+1,Y,sum[ry]) :- node(Y), ry = 0.15;
+                        :- rank(i,X,rx), edge(X,Y), degree(X,d), ry = 0.85 * rx / d.
+`
+
+const adsorptionSrc = `
+r1. I(x,i) :- node(x), i=1.
+r2. L(0,x,l) :- node(x), l=0.
+r3. L(j+1,y,sum[a1]) :- I(y,i), pi(y,p2), a1 = i * p2;
+                        L(j,x,a), A(x,y,w), pc(x,p), a1 = 0.7 * a * w * p;
+                        {sum[Δa] < 0.001}.
+`
+
+func TestParseSSSP(t *testing.T) {
+	prog, err := Parse(ssspSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("got %d rules", len(prog.Rules))
+	}
+	r1, r2 := prog.Rules[0], prog.Rules[1]
+	if r1.Label != "r1" || r2.Label != "r2" {
+		t.Errorf("labels %q %q", r1.Label, r2.Label)
+	}
+	if r1.Head.Name != "sssp" || len(r1.Head.Args) != 2 {
+		t.Errorf("r1 head: %v", r1.Head)
+	}
+	if !r2.IsRecursive() {
+		t.Error("r2 should be recursive")
+	}
+	if r1.IsRecursive() {
+		t.Error("r1 should not be recursive")
+	}
+	aggT, pos := r2.AggTermOf()
+	if aggT == nil || aggT.Op != "min" || aggT.Var != "dy" || pos != 1 {
+		t.Errorf("agg term: %+v at %d", aggT, pos)
+	}
+	if len(r2.Bodies) != 1 || len(r2.Bodies[0].Atoms) != 3 {
+		t.Fatalf("r2 bodies: %+v", r2.Bodies)
+	}
+	last := r2.Bodies[0].Atoms[2]
+	if last.Kind != ast.AtomCompare {
+		t.Fatal("third atom should be the assignment")
+	}
+	v, def, ok := last.Cmp.IsAssignment()
+	if !ok || v != "dy" || def.String() != "dx + dxy" {
+		t.Errorf("assignment: %v = %v (%v)", v, def, ok)
+	}
+}
+
+func TestParsePageRank(t *testing.T) {
+	prog, err := Parse(pagerankSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 3 {
+		t.Fatalf("got %d rules", len(prog.Rules))
+	}
+	r3 := prog.Rules[2]
+	if len(r3.Bodies) != 2 {
+		t.Fatalf("r3 should have 2 bodies, got %d", len(r3.Bodies))
+	}
+	// Head: rank(i+1, Y, sum[ry]) — first arg is arithmetic.
+	if r3.Head.Args[0].Kind != ast.TermArith {
+		t.Errorf("head arg0 kind = %v", r3.Head.Args[0].Kind)
+	}
+	if got := r3.Head.Args[0].Expr.String(); got != "i + 1" {
+		t.Errorf("head arg0 = %q", got)
+	}
+	agg, _ := r3.AggTermOf()
+	if agg.Op != "sum" || agg.Var != "ry" {
+		t.Errorf("agg = %+v", agg)
+	}
+	// Second body: recursive with the f expression.
+	b2 := r3.Bodies[1]
+	var def *expr.Expr
+	for _, a := range b2.Atoms {
+		if a.Kind == ast.AtomCompare {
+			if _, d, ok := a.Cmp.IsAssignment(); ok {
+				def = d
+			}
+		}
+	}
+	if def == nil || def.String() != "0.85 * rx / d" {
+		t.Errorf("f expression = %v", def)
+	}
+}
+
+func TestParseTermination(t *testing.T) {
+	prog, err := Parse(adsorptionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := prog.Rules[2]
+	if r3.Term == nil {
+		t.Fatal("expected termination clause")
+	}
+	if r3.Term.Agg != "sum" || r3.Term.Var != "a" || r3.Term.Threshold != 0.001 {
+		t.Errorf("termination = %+v", r3.Term)
+	}
+	if len(r3.Bodies) != 2 {
+		t.Errorf("bodies = %d", len(r3.Bodies))
+	}
+}
+
+func TestParseTerminationASCIIDelta(t *testing.T) {
+	r, err := ParseRule(`k(i+1,y,sum[k1]) :- k(i,x,k0), edge(x,y), k1 = 0.1*k0; {sum[delta k1] < 0.001}.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Term == nil || r.Term.Var != "k1" || r.Term.Threshold != 0.001 {
+		t.Errorf("termination = %+v", r.Term)
+	}
+}
+
+func TestParseFact(t *testing.T) {
+	prog, err := Parse(`edge(1,2,5). edge(2,3,1.5).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("rules = %d", len(prog.Rules))
+	}
+	f := prog.Rules[0]
+	if len(f.Bodies) != 0 || f.Head.Name != "edge" {
+		t.Errorf("fact = %+v", f)
+	}
+	if f.Head.Args[2].Kind != ast.TermNum || prog.Rules[1].Head.Args[2].Num != 1.5 {
+		t.Error("numeric args wrong")
+	}
+}
+
+func TestParseWildcard(t *testing.T) {
+	r, err := ParseRule(`cc(X,X) :- edge(X,_).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bodies[0].Atoms[0].Pred.Args[1].Kind != ast.TermWildcard {
+		t.Error("expected wildcard")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+% classic connected components
+// line propagation
+/* block
+   comment */
+cc(X,X) :- edge(X,_).
+cc(Y,min[v]) :- cc(X,v), edge(X,Y).
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("rules = %d", len(prog.Rules))
+	}
+}
+
+func TestParseBuiltinCall(t *testing.T) {
+	r, err := ParseRule(`gcn(j+1,Y,sum[g1]) :- gcn(j,X,g), A(X,Y,w), Para(p), g1 = relu(g*p)*w.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var def *expr.Expr
+	for _, a := range r.Bodies[0].Atoms {
+		if a.Kind == ast.AtomCompare {
+			_, def, _ = a.Cmp.IsAssignment()
+		}
+	}
+	if def == nil || def.String() != "relu(g * p) * w" {
+		t.Errorf("def = %v", def)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, src := range []string{ssspSrc, pagerankSrc, adsorptionSrc} {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("first parse: %v", err)
+		}
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", p1.String(), err)
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("round trip mismatch:\n%s\n---\n%s", p1, p2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string // expected substring of the error
+	}{
+		{``, "empty program"},
+		{`sssp(X,d)`, "expected ':-'"}, // missing body and period... lexer hits EOF via expect
+		{`sssp(X d) :- a(X).`, "expected ',' or ')'"},
+		{`sssp(X,d) :- a(X),.`, "expected expression"},
+		{`sssp(X,d) :- a(X); {bogus[Δa] < 1}.`, "unknown aggregate"},
+		{`sssp(X,d) :- a(X), relu(x,y) = 1.`, "wants 1 args"},
+		{`sssp(X,d) :- {sum[Δa] < 1}.`, "no body"},
+		{`sssp(X,d) :- a(X); {sum[Δa] < 1}; {sum[Δa] < 2}.`, "duplicate termination"},
+		{`x(a,b) :- y(a), a ! b.`, "expected '!='"},
+		{`x(_bad) :- y(a).`, "may not start with '_'"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("a(X) :- b(X).\nc(Y) :- d(Y,.\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.HasPrefix(err.Error(), "2:") {
+		t.Errorf("error should point at line 2: %q", err)
+	}
+}
+
+func TestMiddleDotMultiplication(t *testing.T) {
+	r, err := ParseRule(`rank(i+1,Y,sum[ry]) :- rank(i,X,rx), edge(X,Y), degree(X,d), ry = 0.85 · rx / d.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Head.Name != "rank" {
+		t.Error("parse failed")
+	}
+}

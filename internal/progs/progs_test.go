@@ -1,0 +1,66 @@
+package progs
+
+import (
+	"strings"
+	"testing"
+
+	"powerlog/internal/parser"
+)
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 14 {
+		t.Fatalf("Table 1 has 14 programs, got %d", len(cat))
+	}
+	sat, unsat := 0, 0
+	names := map[string]bool{}
+	for _, p := range cat {
+		if names[p.Name] {
+			t.Errorf("duplicate name %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.ExpectSat {
+			sat++
+		} else {
+			unsat++
+		}
+	}
+	if sat != 12 || unsat != 2 {
+		t.Errorf("sat=%d unsat=%d, want 12/2 (paper Table 1)", sat, unsat)
+	}
+	if !names["CommNet"] || !names["GCN-Forward"] {
+		t.Error("the two rejected programs must be present")
+	}
+}
+
+func TestCatalogParses(t *testing.T) {
+	for _, p := range Catalog() {
+		if _, err := parser.Parse(p.Source); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("SSSP")
+	if err != nil || p.Aggregate != "min" {
+		t.Errorf("ByName(SSSP) = %+v, %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestKatzWithAlpha(t *testing.T) {
+	src := KatzWithAlpha(0.025)
+	if !strings.Contains(src, "0.025 * k") {
+		t.Errorf("alpha not substituted:\n%s", src)
+	}
+	if _, err := parser.Parse(src); err != nil {
+		t.Errorf("templated Katz does not parse: %v", err)
+	}
+	// The literal catalogue program keeps the paper's 0.1.
+	if !strings.Contains(Katz, "0.1 * k") {
+		t.Error("Program 5 must keep the paper's literal attenuation")
+	}
+}

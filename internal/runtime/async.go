@@ -1,0 +1,213 @@
+package runtime
+
+import (
+	"runtime"
+	"time"
+)
+
+// runAsync is the barrier-free loop shared by MRAAsync, MRASyncAsync, and
+// MRAAAP: drain the inbox, drain dirty rows, propagate, flush per the
+// mode's policy, and idle briefly when nothing moved. Termination comes
+// from the master's periodic check (paper §5.3: async workers have no
+// global view, so the master polls stats and decides).
+func (w *worker) runAsync() {
+	for !w.stopped {
+		progressed := w.drainInbox()
+		if w.stopped {
+			return
+		}
+		if n := w.scanCompute(); n > 0 {
+			progressed = true
+		}
+		if progressed {
+			// Only productive passes count as effective iterations (the
+			// ε gating and the system-level cap both key off them).
+			w.passes++
+			// Yield between passes so the master's termination check (and
+			// the comm goroutines) are never starved by spinning compute.
+			runtime.Gosched()
+		}
+		w.timedFlush()
+		if progressed {
+			w.thresholdOff = false
+			continue
+		}
+		if w.lowPrioHeld {
+			// Nothing urgent left: release the low-priority cache (§5.4 —
+			// less important deltas are used when the worker would idle).
+			w.thresholdOff = true
+			w.lowPrioHeld = false
+			continue
+		}
+		w.flushAll()
+		w.idleWait()
+	}
+}
+
+// scanCompute processes the current dirty set; returns how many rows
+// produced work.
+func (w *worker) scanCompute() int {
+	n := 0
+	ordered := w.cfg.OrderedScan && w.plan.Op.Selective()
+	for _, d := range w.drainSnapshot() {
+		if ordered {
+			w.refresh(&d)
+		}
+		// §5.4 priority: small combining-aggregate deltas wait locally.
+		if w.holdLowPriority(d.key, d.val) {
+			continue
+		}
+		improved, change := w.table.FoldAcc(d.key, d.val)
+		w.accDelta += change
+		if !w.shouldPropagate(improved, d.val) {
+			continue
+		}
+		n++
+		w.plan.Propagate(d.key, d.val, w.emitAsync)
+	}
+	return n
+}
+
+// holdLowPriority refolds an unimportant delta back into the intermediate
+// so it keeps accumulating locally; it reports whether the delta was held.
+func (w *worker) holdLowPriority(k int64, tmp float64) bool {
+	if w.thresholdOff || w.cfg.PriorityThreshold <= 0 || w.plan.Op.Selective() {
+		return false
+	}
+	if abs(tmp) >= w.cfg.PriorityThreshold {
+		return false
+	}
+	// Refolding marks the row dirty again; lowPrioHeld prevents the idle
+	// detector from treating that as pending work forever.
+	w.table.FoldDelta(k, tmp)
+	w.lowPrioHeld = true
+	return true
+}
+
+// emitAsync routes a contribution under the mode's flush policy.
+func (w *worker) emitAsync(dst int64, v float64) {
+	o := w.owner(dst)
+	if o == w.id {
+		w.table.FoldDelta(dst, v)
+		return
+	}
+	w.bufs[o].add(dst, v)
+	w.winCount[o]++
+	// §5.4, the other half: important deltas (well above the threshold)
+	// are sent to their neighbours immediately instead of waiting for the
+	// buffer to fill.
+	if t := w.cfg.PriorityThreshold; t > 0 && abs(v) >= 8*t {
+		w.flush(o)
+		return
+	}
+	switch {
+	case w.cfg.Mode == MRAAsync:
+		// Myria-style eager small batches: maximum asynchrony.
+		if w.bufs[o].len() >= asyncEagerBatch {
+			w.flush(o)
+		}
+	case w.cfg.Mode == MRAAAP:
+		if !w.aapDelayed && w.bufs[o].len() >= w.cfg.BetaInit {
+			w.flush(o)
+		}
+	case w.plan.Op.Selective():
+		// Unified engine, selective aggregate: freshness beats batching
+		// (a stale bound must be corrected later), so stay on the eager
+		// end of the dial.
+		if w.bufs[o].len() >= asyncEagerBatch {
+			w.flush(o)
+		}
+	default: // unified engine, combining aggregate: adaptive β
+		if float64(w.bufs[o].len()) >= w.beta[o] {
+			w.flush(o)
+		}
+	}
+	if w.bufs[o].len() >= w.cfg.BatchMax {
+		w.flush(o)
+	}
+}
+
+// asyncEagerBatch is the small fixed batch of the pure-async mode.
+const asyncEagerBatch = 64
+
+// timedFlush applies the τ interval: any buffer older than τ is sent, and
+// the adaptive window is advanced (paper §5.3's β(i,j) update rule).
+func (w *worker) timedFlush() {
+	now := time.Now()
+	for j := range w.bufs {
+		if j == w.id {
+			continue
+		}
+		if w.bufs[j].len() > 0 && now.Sub(w.lastFlush[j]) >= w.cfg.Tau {
+			w.flush(j)
+		}
+	}
+	if w.cfg.Mode == MRASyncAsync {
+		w.adaptBuffers(now)
+	}
+	if w.cfg.Mode == MRAAAP {
+		w.adaptAAP(now)
+	}
+}
+
+// adaptBuffers implements the paper's adaptive buffer rule: over a window
+// ΔT, if the update accumulation rate |B(i,j)|/ΔT leaves the band
+// [β/(r·τ), r·β/τ], reset β(i,j) = α·τ·|B(i,j)|/ΔT.
+func (w *worker) adaptBuffers(now time.Time) {
+	dT := now.Sub(w.winStart)
+	if dT < 4*w.cfg.Tau {
+		return
+	}
+	tau := w.cfg.Tau.Seconds()
+	dts := dT.Seconds()
+	for j := range w.beta {
+		if j == w.id {
+			continue
+		}
+		rate := float64(w.winCount[j]) / dts
+		hi := w.cfg.R * w.beta[j] / tau
+		lo := w.beta[j] / (w.cfg.R * tau)
+		if rate > hi || rate < lo {
+			b := w.cfg.Alpha * tau * rate
+			// Clamp: a floor keeps slow-pace phases from degenerating to
+			// per-update messages (the folding window would vanish); a
+			// ceiling bounds staleness and keeps any single message from
+			// monopolising the emulated NIC.
+			if floor := float64(w.cfg.BetaInit) / 4; b < floor {
+				b = floor
+			}
+			if max := float64(2 * w.cfg.BetaInit); b > max {
+				b = max
+			}
+			w.beta[j] = b
+		}
+		w.winCount[j] = 0
+	}
+	w.winStart = now
+}
+
+// adaptAAP is the Grape+-style mode switch of §6.5: a worker flooded by
+// in-messages delays its own sends (SSP-leaning, bigger batches on the τ
+// timer only); a starved worker flushes eagerly (AP-leaning).
+func (w *worker) adaptAAP(now time.Time) {
+	dT := now.Sub(w.winStart)
+	if dT < 4*w.cfg.Tau {
+		return
+	}
+	w.aapDelayed = w.inWindow > w.outWindow
+	w.inWindow, w.outWindow = 0, 0
+	w.winStart = now
+}
+
+// idleWait blocks briefly for new input so an idle worker does not spin.
+func (w *worker) idleWait() {
+	select {
+	case m, ok := <-w.conn.Inbox():
+		if !ok {
+			w.stopped = true
+			return
+		}
+		w.handle(m)
+	case <-time.After(200 * time.Microsecond):
+	}
+}

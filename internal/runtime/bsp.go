@@ -1,0 +1,256 @@
+package runtime
+
+import (
+	"sort"
+
+	"powerlog/internal/agg"
+	"powerlog/internal/transport"
+)
+
+// runBSP executes bulk-synchronous supersteps: compute and buffer,
+// exchange with EndPhase markers, report to the master, and wait for its
+// verdict. With naive=true each superstep recomputes the full result from
+// the previous one (Equation 2); otherwise it is MRA semi-naive
+// evaluation (Equation 4) under a barrier.
+func (w *worker) runBSP(naive bool) {
+	if naive {
+		// The table being built this round; incoming Data always lands in
+		// the freshest next (created *before* reporting PhaseDone so that
+		// faster peers' next-round data cannot be stranded).
+		w.next = w.newTable()
+		w.apply = w.next
+	}
+	for !w.stopped {
+		w.rounds++
+		if naive {
+			w.naiveCompute()
+		} else {
+			w.mraCompute()
+		}
+		w.flushAll()
+		for j := 0; j < w.nw; j++ {
+			if j != w.id {
+				w.enqueue(j, transport.Message{Kind: transport.EndPhase})
+			}
+		}
+		w.awaitEndPhases()
+		if w.stopped {
+			return
+		}
+		var stats transport.Stats
+		if naive {
+			diff, changed := w.naiveFinish()
+			stats.AccDelta = diff
+			stats.Dirty = changed
+			w.next = w.newTable()
+			w.apply = w.next
+		} else {
+			stats.AccDelta = w.accDelta
+			w.accDelta = 0
+			stats.Dirty = w.table.HasDirty()
+			if w.cfg.SnapshotDir != "" && w.cfg.SnapshotEvery > 0 && w.rounds%w.cfg.SnapshotEvery == 0 {
+				_ = w.snapshot() // fault tolerance is best-effort; the run itself must not fail
+			}
+		}
+		stats.Sent, stats.Recv = w.sent, w.recv
+		w.enqueue(transport.MasterID(w.nw), transport.Message{Kind: transport.PhaseDone, Stats: stats})
+		if !w.awaitVerdict() {
+			return
+		}
+	}
+}
+
+// mraCompute drains a snapshot of dirty keys, folds each delta into its
+// accumulation, and propagates improvements (paper Figure 7).
+func (w *worker) mraCompute() {
+	ordered := w.cfg.OrderedScan && w.plan.Op.Selective()
+	for _, d := range w.drainSnapshot() {
+		if ordered {
+			w.refresh(&d)
+		}
+		improved, change := w.table.FoldAcc(d.key, d.val)
+		w.accDelta += change
+		if !w.shouldPropagate(improved, d.val) {
+			continue
+		}
+		w.plan.Propagate(d.key, d.val, w.emitBuffered)
+	}
+}
+
+// drained is one key's delta taken from the dirty set this pass.
+type drained struct {
+	key int64
+	val float64
+}
+
+// drainSnapshot drains the current dirty set into a slice, optionally
+// ordering it best-first for selective aggregates (delta-stepping-style
+// scheduling: relaxing small tentative distances first avoids spreading
+// bounds that are about to be improved anyway).
+func (w *worker) drainSnapshot() []drained {
+	var keys []int64
+	w.table.ScanDirty(func(k int64) { keys = append(keys, k) })
+	out := make([]drained, 0, len(keys))
+	for _, k := range keys {
+		if v, ok := w.table.Drain(k); ok {
+			out = append(out, drained{k, v})
+		}
+	}
+	if w.cfg.OrderedScan && w.plan.Op.Selective() {
+		asc := w.plan.Op.Kind() == agg.Min
+		sort.Slice(out, func(i, j int) bool {
+			if asc {
+				return out[i].val < out[j].val
+			}
+			return out[i].val > out[j].val
+		})
+	}
+	return out
+}
+
+// refresh folds any delta that arrived since the snapshot into d — under
+// the ordered schedule, a key processed late in the pass picks up the
+// improvements its predecessors just propagated, which is where the
+// delta-stepping saving comes from.
+func (w *worker) refresh(d *drained) {
+	if v, ok := w.table.Drain(d.key); ok {
+		d.val = w.plan.Op.Fold(d.val, v)
+	}
+}
+
+// shouldPropagate implements the per-aggregate forwarding rule: selective
+// aggregates forward only improvements (anything else is dominated);
+// combining aggregates forward every non-zero delta.
+func (w *worker) shouldPropagate(improved bool, tmp float64) bool {
+	if w.plan.Op.Selective() {
+		return improved
+	}
+	return tmp != 0
+}
+
+// emitBuffered routes one contribution: local keys fold directly (they
+// join the next superstep via the dirty set), remote keys are buffered
+// and flushed in BatchMax chunks.
+func (w *worker) emitBuffered(dst int64, v float64) {
+	o := w.owner(dst)
+	if o == w.id {
+		w.apply.FoldDelta(dst, v)
+		return
+	}
+	w.bufs[o].add(dst, v)
+	if w.bufs[o].len() >= w.cfg.BatchMax {
+		w.flush(o)
+	}
+}
+
+// naiveCompute re-derives the full next state: base tuples plus the
+// recursive body applied to every current value. When the plan supports
+// it, this pays naive Datalog evaluation's real price — materialise the
+// current result into a relation and re-run the body joins each
+// iteration (the paper's "additional rank table"); pair-keyed plans fall
+// back to the compiled full-F closure.
+func (w *worker) naiveCompute() {
+	for _, kv := range w.ownBase {
+		w.apply.FoldDelta(kv.K, kv.V)
+	}
+	if w.plan.NaiveJoinSupported() {
+		if w.naive == nil {
+			ev, err := w.plan.NewNaiveEvaluator()
+			if err == nil {
+				w.naive = ev
+			}
+		}
+		if w.naive != nil {
+			err := w.naive.Eval(func(yield func(int64, float64)) {
+				w.table.Range(func(k int64, acc float64) bool {
+					yield(k, acc)
+					return true
+				})
+			}, w.emitBuffered)
+			if err == nil {
+				return
+			}
+			// A join failure (unexpected) falls through to the closure so
+			// naive mode still produces correct results.
+		}
+	}
+	w.table.Range(func(k int64, acc float64) bool {
+		w.plan.PropagateFull(k, acc, w.emitBuffered)
+		return true
+	})
+}
+
+// naiveFinish folds the received contributions into the next table's
+// accumulations and compares it against the current table: it returns
+// Σ|next − cur| over owned keys and whether anything changed at all (a
+// new key with value 0 — a shortest-path source, say — changes the
+// result without moving the L1 distance). It then installs next.
+func (w *worker) naiveFinish() (float64, bool) {
+	w.next.ScanDirty(func(k int64) {
+		if v, ok := w.next.Drain(k); ok {
+			w.next.FoldAcc(k, v)
+		}
+	})
+	diff := 0.0
+	changed := false
+	seen := map[int64]bool{}
+	w.next.Range(func(k int64, v float64) bool {
+		seen[k] = true
+		old := w.table.Acc(k)
+		if old == w.plan.Op.Identity() {
+			diff += abs(v)
+			changed = true
+		} else if v != old {
+			diff += abs(v - old)
+			changed = true
+		}
+		return true
+	})
+	w.table.Range(func(k int64, v float64) bool {
+		if !seen[k] {
+			diff += abs(v) // key disappeared (cannot happen for monotone runs)
+			changed = true
+		}
+		return true
+	})
+	w.table = w.next
+	return diff, changed
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// awaitEndPhases blocks until EndPhase markers from all other workers
+// arrive (data sent before a marker is already applied by then, thanks to
+// per-pair ordering).
+func (w *worker) awaitEndPhases() {
+	need := w.nw - 1
+	for w.endPhases < need && !w.stopped {
+		m, ok := <-w.conn.Inbox()
+		if !ok {
+			w.stopped = true
+			return
+		}
+		w.handle(m)
+	}
+	w.endPhases -= need
+}
+
+// awaitVerdict blocks for the master's Continue/Stop and reports whether
+// to run another superstep.
+func (w *worker) awaitVerdict() bool {
+	for !w.verdictSet {
+		m, ok := <-w.conn.Inbox()
+		if !ok {
+			w.stopped = true
+			return false
+		}
+		w.handle(m)
+	}
+	w.verdictSet = false
+	return w.verdict == transport.Continue && !w.stopped
+}

@@ -1,0 +1,164 @@
+// Package runtime is PowerLog's distributed execution runtime (paper §5):
+// workers own MonoTable shards and exchange folded deltas through a
+// transport; a master runs the periodic termination check. One worker
+// codebase implements all evaluation modes — naive synchronous, MRA
+// synchronous (BSP), MRA asynchronous, the paper's unified sync-async
+// mode with adaptive message buffers (§5.3), and the AAP comparison mode
+// of §6.5.
+package runtime
+
+import (
+	"time"
+)
+
+// Mode selects the evaluation strategy.
+type Mode int
+
+// Evaluation modes. The zero value is MRASyncAsync, PowerLog's unified
+// engine — the recommended default. NaiveSync models SociaLite-style
+// naive evaluation; MRASync models BigDatalog-style semi-naive BSP;
+// MRAAsync models Myria-style asynchronous evaluation; MRAAAP
+// re-implements Grape+'s adaptive asynchronous parallel model for
+// Figure 11.
+const (
+	MRASyncAsync Mode = iota
+	NaiveSync
+	MRASync
+	MRAAsync
+	MRAAAP
+)
+
+var modeNames = [...]string{"MRA+SyncAsync", "Naive+Sync", "MRA+Sync", "MRA+Async", "MRA+AAP"}
+
+// String returns the mode's display name (Figure 10's series labels).
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return "Mode(?)"
+}
+
+// MRA reports whether the mode uses incremental (MRA) evaluation.
+func (m Mode) MRA() bool { return m != NaiveSync }
+
+// Config tunes the runtime. Zero values select documented defaults.
+type Config struct {
+	// Workers is the number of worker shards (default 4).
+	Workers int
+	// Mode is the evaluation strategy (default MRASyncAsync).
+	Mode Mode
+
+	// BatchMax caps KVs per message (default 4096).
+	BatchMax int
+	// BetaInit is the initial adaptive buffer size β(i,j) (default 256).
+	BetaInit int
+	// Tau is the message-passing interval τ (default 2ms).
+	Tau time.Duration
+	// Alpha is the damping factor of the β update (paper fixes 0.8).
+	Alpha float64
+	// R is the adaptation trigger ratio (paper sets 2).
+	R float64
+
+	// CheckInterval is the master's termination-check period (default 1ms).
+	CheckInterval time.Duration
+	// PriorityThreshold enables §5.4's importance-based flushing for
+	// combining aggregates: deltas below the threshold wait in the local
+	// intermediate until the worker has no other work. 0 disables.
+	PriorityThreshold float64
+
+	// OrderedScan processes each pass's drained deltas best-first (lowest
+	// value for min, highest for max) — a delta-stepping-style schedule
+	// (Meyer & Sanders 2003) like the SociaLite optimisation the paper
+	// credits for its ClueWeb09 SSSP win. It reduces wasted relaxations
+	// on selective aggregates at the cost of a per-pass sort; it has no
+	// effect on combining aggregates.
+	OrderedScan bool
+
+	// MaxWall aborts a run after this long (default 2 minutes).
+	MaxWall time.Duration
+
+	// SnapshotDir enables checkpointing (MRASync mode only): each worker
+	// writes its shard at every SnapshotEvery-th barrier — a consistent
+	// cut, since no messages are in flight at a barrier.
+	SnapshotDir   string
+	SnapshotEvery int
+
+	// RestoreDir resumes a run from the snapshots in the directory
+	// instead of seeding ΔX¹ (any MRA mode, any worker count).
+	RestoreDir string
+
+	// Network emulates the paper's cluster fabric on the in-process
+	// transport (17 Aliyun nodes, 1.5 Gbps): each outgoing message costs
+	// a fixed latency plus its KV volume divided by the per-node NIC
+	// rate, serialised through the worker's communication thread. The
+	// zero profile is a perfect network (tests use that).
+	Network NetworkProfile
+}
+
+// NetworkProfile models link cost for the in-process transport.
+type NetworkProfile struct {
+	// Latency is the fixed per-message cost (serialisation + RTT share).
+	Latency time.Duration
+	// KVsPerSecond is the per-node NIC throughput in KV updates/second
+	// (a KV is ~16 bytes; 1.5 Gbps ≈ 10M KV/s). 0 = infinite.
+	KVsPerSecond float64
+}
+
+// cost returns the emulated wire time of a message with n KVs.
+func (p NetworkProfile) cost(n int) time.Duration {
+	d := p.Latency
+	if p.KVsPerSecond > 0 {
+		d += time.Duration(float64(n) / p.KVsPerSecond * float64(time.Second))
+	}
+	return d
+}
+
+// Enabled reports whether any emulation is configured.
+func (p NetworkProfile) Enabled() bool { return p.Latency > 0 || p.KVsPerSecond > 0 }
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 4096
+	}
+	if c.BetaInit <= 0 {
+		c.BetaInit = 256
+	}
+	if c.Tau <= 0 {
+		c.Tau = 2 * time.Millisecond
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.8
+	}
+	if c.R <= 0 {
+		c.R = 2
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = time.Millisecond
+	}
+	if c.MaxWall <= 0 {
+		c.MaxWall = 2 * time.Minute
+	}
+	return c
+}
+
+// Result is a completed run.
+type Result struct {
+	// Values maps every key with a non-identity accumulation to its
+	// final value.
+	Values map[int64]float64
+	// Rounds counts BSP supersteps (sync modes) or master check rounds
+	// (async modes).
+	Rounds int
+	// MessagesSent / MessagesRecv count KV updates crossing workers.
+	MessagesSent, MessagesRecv int64
+	// Flushes counts data messages (batches) sent.
+	Flushes int64
+	// Elapsed is wall-clock runtime excluding plan compilation.
+	Elapsed time.Duration
+	// Converged is false when the run stopped on the iteration cap or
+	// wall-clock limit instead of its termination condition.
+	Converged bool
+}

@@ -1,0 +1,102 @@
+package runtime
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"powerlog/internal/compiler"
+	"powerlog/internal/edb"
+	"powerlog/internal/gen"
+	"powerlog/internal/progs"
+	"powerlog/internal/ref"
+	"powerlog/internal/transport"
+)
+
+// TestDistributedTCP runs the full engine across TCP endpoints — the
+// multi-process deployment path exercised in one process. Each "process"
+// compiles its own plan from the same seeded dataset, as real cluster
+// nodes would.
+func TestDistributedTCP(t *testing.T) {
+	const workers = 3
+	boot := make([]string, workers+1)
+	for i := range boot {
+		boot[i] = "127.0.0.1:0"
+	}
+	eps := make([]*transport.TCPConn, workers+1)
+	for i := range eps {
+		c, err := transport.NewTCPEndpoint(i, workers, boot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = c
+		defer c.Close()
+	}
+	addrs := make([]string, workers+1)
+	for i, c := range eps {
+		addrs[i] = c.Addr()
+	}
+	for _, c := range eps {
+		c.SetAddressBook(addrs)
+	}
+
+	newPlan := func() *compiler.Plan {
+		g := gen.Uniform(300, 1800, 40, 91)
+		db := edb.NewDB()
+		db.SetGraph("edge", g)
+		return compilePlan(t, progs.SSSP, db)
+	}
+
+	cfg := Config{
+		Mode:          MRASyncAsync,
+		Tau:           300 * time.Microsecond,
+		CheckInterval: 500 * time.Microsecond,
+		MaxWall:       30 * time.Second,
+	}
+
+	results := make([]map[int64]float64, workers)
+	plans := make([]*compiler.Plan, workers)
+	for i := range plans {
+		plans[i] = newPlan() // each "process" compiles independently
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			local, err := RunWorker(plans[i], cfg, eps[i])
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			results[i] = local
+		}(i)
+	}
+	rounds, converged, err := RunMaster(newPlan(), cfg, eps[workers])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !converged || rounds == 0 {
+		t.Fatalf("converged=%v rounds=%d", converged, rounds)
+	}
+
+	merged := map[int64]float64{}
+	for _, local := range results {
+		for k, v := range local {
+			merged[k] = v
+		}
+	}
+	g := gen.Uniform(300, 1800, 40, 91)
+	want := ref.Dijkstra(g, 0)
+	expectClose(t, MRASyncAsync, merged, want, math.Inf(1), 1e-9)
+}
+
+func TestRunWorkerRejectsEmptyPlan(t *testing.T) {
+	net := transport.NewChannelNetwork(1, 8)
+	defer net.Close()
+	if _, err := RunWorker(&compiler.Plan{}, Config{}, net.Conn(0)); err == nil {
+		t.Fatal("uncompiled plan should be rejected")
+	}
+}

@@ -1,0 +1,194 @@
+package runtime
+
+import (
+	"math"
+	"time"
+
+	"powerlog/internal/compiler"
+	"powerlog/internal/transport"
+)
+
+// master coordinates termination. For BSP modes it collects PhaseDone
+// reports and issues Continue/Stop verdicts; for async modes it polls
+// stats on a timer and applies the paper's two-level criteria: the
+// user-level ε on consecutive global results, distributed quiescence for
+// fixpoint programs, and the system-level round cap.
+type master struct {
+	cfg  Config
+	plan *compiler.Plan
+	conn transport.Conn
+	nw   int
+
+	pending []transport.Message // messages received while sending
+
+	rounds    int
+	converged bool
+}
+
+func newMaster(cfg Config, plan *compiler.Plan, conn transport.Conn) *master {
+	return &master{cfg: cfg, plan: plan, conn: conn, nw: cfg.Workers}
+}
+
+// bcast sends msg to every worker without blocking on a back-pressured
+// inbox: while a worker's channel is full the master keeps draining its
+// own inbox (stashing replies for the collect loop), so bulk data can
+// never deadlock or starve the termination protocol.
+func (m *master) bcast(msg transport.Message) {
+	try, canTry := m.conn.(transport.TrySender)
+	for j := 0; j < m.nw; j++ {
+		if !canTry {
+			_ = m.conn.Send(j, msg)
+			continue
+		}
+		for {
+			ok, err := try.TrySend(j, msg)
+			if ok || err != nil {
+				break
+			}
+			select {
+			case in, chOk := <-m.conn.Inbox():
+				if !chOk {
+					return
+				}
+				m.pending = append(m.pending, in)
+			default:
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+	}
+}
+
+// recv returns the next incoming message, honouring the pending stash.
+func (m *master) recv() (transport.Message, bool) {
+	if len(m.pending) > 0 {
+		msg := m.pending[0]
+		m.pending = m.pending[1:]
+		return msg, true
+	}
+	msg, ok := <-m.conn.Inbox()
+	return msg, ok
+}
+
+func (m *master) run() {
+	switch m.cfg.Mode {
+	case NaiveSync, MRASync:
+		m.runBSP()
+	default:
+		m.runAsync()
+	}
+}
+
+// runBSP collects one PhaseDone per worker per superstep and decides.
+func (m *master) runBSP() {
+	eps := m.plan.Termination.Epsilon
+	deadline := time.Now().Add(m.cfg.MaxWall)
+	armed := false
+	for round := 1; ; round++ {
+		m.rounds = round
+		var sumDelta float64
+		anyDirty := false
+		for got := 0; got < m.nw; {
+			msg, ok := m.recv()
+			if !ok {
+				return
+			}
+			if msg.Kind != transport.PhaseDone {
+				continue
+			}
+			got++
+			sumDelta += msg.Stats.AccDelta
+			anyDirty = anyDirty || msg.Stats.Dirty
+		}
+		stop := false
+		switch {
+		case eps > 0:
+			if sumDelta >= eps {
+				armed = true
+			} else if armed || round > 1 {
+				stop, m.converged = true, true
+			}
+			// A true fixpoint also terminates ε programs.
+			if !anyDirty && sumDelta == 0 {
+				stop, m.converged = true, true
+			}
+		default:
+			if !anyDirty {
+				stop, m.converged = true, true
+			}
+		}
+		if round >= m.plan.Termination.MaxIters || time.Now().After(deadline) {
+			stop = true
+		}
+		if stop {
+			m.bcast(transport.Message{Kind: transport.Stop})
+			return
+		}
+		m.bcast(transport.Message{Kind: transport.Continue})
+	}
+}
+
+// runAsync polls worker stats every CheckInterval and stops on the first
+// satisfied criterion: (a) ε programs — the difference between two
+// consecutive global aggregation results over the Accumulation column
+// drops below ε (§5.4's termination check; consecutive checks only count
+// when the workers made progress in between, so a scheduler stall cannot
+// masquerade as convergence); (b) fixpoint — two consecutive stable
+// snapshots (all idle, Σsent == Σrecv, no dirty rows); (c) the
+// system-level round cap or wall-clock limit.
+func (m *master) runAsync() {
+	eps := m.plan.Termination.Epsilon
+	deadline := time.Now().Add(m.cfg.MaxWall)
+	prevStable := false
+	prevSum := math.NaN()
+	prevPasses := int64(-1)
+	for round := 0; ; round++ {
+		m.rounds = round + 1
+		time.Sleep(m.cfg.CheckInterval)
+		m.bcast(transport.Message{Kind: transport.StatsRequest, Round: round})
+		var sent, recv, passes int64
+		var accSum float64
+		allIdle, anyDirty := true, false
+		for got := 0; got < m.nw; {
+			msg, ok := m.recv()
+			if !ok {
+				return
+			}
+			if msg.Kind != transport.StatsReply || msg.Round != round {
+				continue
+			}
+			got++
+			sent += msg.Stats.Sent
+			recv += msg.Stats.Recv
+			passes += msg.Stats.Passes
+			accSum += msg.Stats.AccSum
+			allIdle = allIdle && msg.Stats.Idle
+			anyDirty = anyDirty || msg.Stats.Dirty
+		}
+		stable := allIdle && sent == recv && !anyDirty
+		stop := false
+		if stable && prevStable {
+			stop, m.converged = true, true
+		}
+		prevStable = stable
+		if eps > 0 && passes-prevPasses >= int64(m.nw) {
+			if prevPasses >= 0 && !math.IsNaN(prevSum) && accSum != 0 &&
+				math.Abs(accSum-prevSum) < eps {
+				stop, m.converged = true, true
+			}
+			prevSum, prevPasses = accSum, passes
+		} else if prevPasses < 0 {
+			prevPasses = passes
+			prevSum = accSum
+		}
+		// The system-level iteration cap counts effective iterations
+		// (average compute passes per worker), not master check rounds,
+		// so the cap has the same meaning as a superstep limit.
+		if passes/int64(m.nw) >= int64(m.plan.Termination.MaxIters) || time.Now().After(deadline) {
+			stop = true
+		}
+		if stop {
+			m.bcast(transport.Message{Kind: transport.Stop})
+			return
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"powerlog/internal/ckpt"
+	"powerlog/internal/compiler"
+	"powerlog/internal/graph"
+	"powerlog/internal/transport"
+)
+
+// Run executes a compiled plan on an in-process worker fleet and returns
+// the final result. The same worker/master code drives every mode; only
+// the flush policy and barrier behaviour differ.
+func Run(plan *compiler.Plan, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if plan.Propagate == nil || plan.Op == nil {
+		return nil, fmt.Errorf("runtime: plan is not compiled")
+	}
+	if !cfg.Mode.MRA() && len(plan.BaseNaive) == 0 {
+		return nil, fmt.Errorf("runtime: naive evaluation has no base tuples to derive from")
+	}
+	cfg = applyPriorityDefault(cfg, plan)
+
+	net := transport.NewChannelNetwork(cfg.Workers, 4096)
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		workers[i] = newWorker(i, cfg, plan, net.Conn(i))
+	}
+
+	// Seed state per mode: MRA folds ΔX¹ into the shards (or restores a
+	// checkpoint); naive re-derives base tuples every round from each
+	// worker's owned slice.
+	if cfg.Mode.MRA() {
+		if cfg.RestoreDir != "" {
+			rows, err := ckpt.LoadAll(cfg.RestoreDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, w := range workers {
+				w.restore(rows)
+			}
+		} else {
+			for _, w := range workers {
+				w.seed(plan.InitMRA)
+			}
+		}
+	} else {
+		for _, kv := range plan.BaseNaive {
+			o := graph.Partition(kv.K, cfg.Workers)
+			workers[o].ownBase = append(workers[o].ownBase, kv)
+		}
+	}
+
+	m := newMaster(cfg, plan, net.Conn(transport.MasterID(cfg.Workers)))
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run()
+		}(w)
+	}
+	m.run()
+	wg.Wait()
+	elapsed := time.Since(start)
+	net.Close()
+
+	res := &Result{
+		Values:    map[int64]float64{},
+		Rounds:    m.rounds,
+		Elapsed:   elapsed,
+		Converged: m.converged,
+	}
+	for _, w := range workers {
+		res.MessagesSent += w.sent
+		res.MessagesRecv += w.recv
+		res.Flushes += w.flushes
+		w.table.Range(func(k int64, v float64) bool {
+			res.Values[k] = v
+			return true
+		})
+	}
+	return res, nil
+}
+
+// applyPriorityDefault normalises the §5.4 priority knob: the feature is
+// opt-in (benchmarks showed the hold/release cycle can thrash on large
+// combining-aggregate runs, so no default threshold is imposed), and a
+// negative value explicitly disables it.
+func applyPriorityDefault(cfg Config, plan *compiler.Plan) Config {
+	if cfg.PriorityThreshold < 0 || (plan.Op != nil && plan.Op.Selective()) {
+		cfg.PriorityThreshold = 0
+	}
+	return cfg
+}
+
+// RunWorker participates as one worker in an externally provided network
+// (e.g. a transport.TCPConn spanning several processes). Every process
+// must compile the same plan against the same deterministic data; the
+// worker seeds only its own shard of ΔX¹ and returns its local share of
+// the result when the master stops the run.
+func RunWorker(plan *compiler.Plan, cfg Config, conn transport.Conn) (map[int64]float64, error) {
+	cfg = cfg.withDefaults()
+	cfg = applyPriorityDefault(cfg, plan)
+	cfg.Workers = conn.Workers()
+	if plan.Propagate == nil || plan.Op == nil {
+		return nil, fmt.Errorf("runtime: plan is not compiled")
+	}
+	w := newWorker(conn.ID(), cfg, plan, conn)
+	if cfg.Mode.MRA() {
+		if cfg.RestoreDir != "" {
+			rows, err := ckpt.LoadAll(cfg.RestoreDir)
+			if err != nil {
+				return nil, err
+			}
+			w.restore(rows)
+		} else {
+			w.seed(plan.InitMRA)
+		}
+	} else {
+		for _, kv := range plan.BaseNaive {
+			if graph.Partition(kv.K, cfg.Workers) == w.id {
+				w.ownBase = append(w.ownBase, kv)
+			}
+		}
+	}
+	w.run()
+	local := map[int64]float64{}
+	w.table.Range(func(k int64, v float64) bool {
+		local[k] = v
+		return true
+	})
+	return local, nil
+}
+
+// RunMaster runs the termination controller on an external network and
+// reports the rounds executed and whether the run converged (as opposed
+// to hitting the iteration or wall-clock cap).
+func RunMaster(plan *compiler.Plan, cfg Config, conn transport.Conn) (rounds int, converged bool, err error) {
+	cfg = cfg.withDefaults()
+	cfg.Workers = conn.Workers()
+	m := newMaster(cfg, plan, conn)
+	m.run()
+	return m.rounds, m.converged, nil
+}

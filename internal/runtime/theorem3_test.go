@@ -1,0 +1,269 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"powerlog/internal/analyzer"
+	"powerlog/internal/checker"
+	"powerlog/internal/compiler"
+	"powerlog/internal/edb"
+	"powerlog/internal/gen"
+	"powerlog/internal/graph"
+	"powerlog/internal/parser"
+	"powerlog/internal/transport"
+)
+
+// TestTheorem3RandomPrograms is the property-based form of the paper's
+// Theorem 3: for randomly generated recursive aggregate programs that
+// pass the MRA condition check, asynchronous evaluation must reach the
+// same fixpoint/limit as synchronous evaluation on random graphs.
+func TestTheorem3RandomPrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src, _ := randomMRAProgram(rng)
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("generated program does not parse: %v\n%s", err, src)
+		}
+		info, err := analyzer.Analyze(prog)
+		if err != nil {
+			t.Fatalf("generated program does not analyse: %v\n%s", err, src)
+		}
+		if rep := checker.Check(info); !rep.Satisfied {
+			t.Fatalf("generated program fails the MRA check:\n%s\n%s", src, rep)
+		}
+
+		g := gen.Uniform(120+rng.Intn(100), 600+rng.Intn(600), pick(rng, 0, 20), seed)
+		if info.Agg.String() == "sum" {
+			// Keep combining programs convergent: sub-stochastic weights.
+			g = substochastic(g)
+		}
+		db1, db2 := edb.NewDB(), edb.NewDB()
+		db1.SetGraph("edge", g)
+		db2.SetGraph("edge", g)
+		p1, err := compiler.Compile(info, db1, compiler.Options{})
+		if err != nil {
+			t.Fatalf("compile: %v\n%s", err, src)
+		}
+		info2, _ := analyzer.Analyze(prog)
+		p2, err := compiler.Compile(info2, db2, compiler.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		syncRes, err := Run(p1, Config{Workers: 2, Mode: MRASync, MaxWall: 20 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		asyncRes, err := Run(p2, Config{
+			Workers:       3,
+			Mode:          MRASyncAsync,
+			Tau:           150 * time.Microsecond,
+			CheckInterval: 250 * time.Microsecond,
+			MaxWall:       20 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !syncRes.Converged || !asyncRes.Converged {
+			t.Fatalf("non-convergence (sync=%v async=%v) for:\n%s", syncRes.Converged, asyncRes.Converged, src)
+		}
+		tol := 1e-9
+		if p1.Termination.Epsilon > 0 {
+			tol = 50 * p1.Termination.Epsilon // ε-limits agree to ε-order
+		}
+		for k, v := range syncRes.Values {
+			av, ok := asyncRes.Values[k]
+			if !ok || math.Abs(av-v) > tol*math.Max(1, math.Abs(v)) {
+				t.Fatalf("key %d: sync=%v async=%v (ok=%v) for:\n%s", k, v, av, ok, src)
+			}
+		}
+		if len(asyncRes.Values) != len(syncRes.Values) {
+			t.Fatalf("key sets differ: %d vs %d for:\n%s", len(asyncRes.Values), len(syncRes.Values), src)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomMRAProgram emits a random program guaranteed to satisfy the MRA
+// conditions: a selective aggregate with a non-negative-affine F', or a
+// sum with a linear F'.
+func randomMRAProgram(rng *rand.Rand) (src string, weighted bool) {
+	srcV := rng.Intn(5)
+	switch rng.Intn(3) {
+	case 0: // min with affine f = x + c·w (shortest-path family)
+		c := 1 + rng.Intn(3)
+		return fmt.Sprintf(`
+r1. p(X,v) :- X=%d, v=0.
+r2. p(Y,min[v1]) :- p(X,v), edge(X,Y,w), v1 = v + %d * w.
+`, srcV, c), true
+	case 1: // max with scaling f = a·x, a in (0,1], values positive
+		a := 0.1 + 0.8*rng.Float64()
+		return fmt.Sprintf(`
+r1. p(X,v) :- X=%d, v=1.
+r2. p(Y,max[v1]) :- p(X,v), edge(X,Y), v1 = %.3f * v, v >= 0.
+`, srcV, a), false
+	default: // sum with linear f = a·x·w over sub-stochastic weights
+		a := 0.2 + 0.6*rng.Float64()
+		return fmt.Sprintf(`
+r1. p(X,v) :- X=%d, v=10.
+r2. p(Y,sum[v1]) :- p(X,v), edge(X,Y,w), v1 = %.3f * v * w;
+                 {sum[Δv1] < 0.000001}.
+`, srcV, a), true
+	}
+}
+
+func pick(rng *rand.Rand, a, b float64) float64 {
+	if rng.Intn(2) == 0 {
+		return a
+	}
+	return b
+}
+
+func substochastic(g *graph.Graph) *graph.Graph {
+	edges := g.Edges()
+	cp, err := graph.FromEdges(g.NumVertices(), edges, true)
+	if err != nil {
+		panic(err)
+	}
+	gen.NormalizeWeightsByOut(cp, 1)
+	return cp
+}
+
+// jitterConn wraps a Conn and adversarially delays random data messages,
+// destroying even per-pair delivery order — legal for the barrier-free
+// modes, whose correctness (Theorem 3) must not depend on ordering.
+type jitterConn struct {
+	transport.Conn
+	rng  *rand.Rand
+	held []heldMsg
+}
+
+type heldMsg struct {
+	to int
+	m  transport.Message
+}
+
+func (j *jitterConn) Send(to int, m transport.Message) error {
+	if m.Kind == transport.Data && j.rng.Intn(3) == 0 {
+		j.held = append(j.held, heldMsg{to, m})
+		if len(j.held) > 8 { // release the oldest half, shuffled
+			j.rng.Shuffle(len(j.held), func(a, b int) { j.held[a], j.held[b] = j.held[b], j.held[a] })
+			for _, h := range j.held[:4] {
+				if err := j.Conn.Send(h.to, h.m); err != nil {
+					return err
+				}
+			}
+			j.held = append(j.held[:0], j.held[4:]...)
+		}
+		return nil
+	}
+	// Control messages flush any held data first so the run can finish.
+	if m.Kind != transport.Data {
+		for _, h := range j.held {
+			if err := j.Conn.Send(h.to, h.m); err != nil {
+				return err
+			}
+		}
+		j.held = j.held[:0]
+	}
+	return j.Conn.Send(to, m)
+}
+
+// TestAsyncTolleratesReordering runs SSSP through workers whose outgoing
+// data is adversarially delayed and reordered; the async fixpoint must
+// still equal Dijkstra.
+func TestAsyncToleratesReordering(t *testing.T) {
+	g := gen.Uniform(300, 1800, 40, 1234)
+	db := edb.NewDB()
+	db.SetGraph("edge", g)
+	plan := compilePlan(t, "\nr1. sssp(X,d) :- X=0, d=0.\nr2. sssp(Y,min[dy]) :- sssp(X,dx), edge(X,Y,dxy), dy = dx + dxy.\n", db)
+
+	const workers = 3
+	net := transport.NewChannelNetwork(workers, 4096)
+	cfg := Config{
+		Workers:       workers,
+		Mode:          MRAAsync,
+		Tau:           150 * time.Microsecond,
+		CheckInterval: 300 * time.Microsecond,
+		MaxWall:       30 * time.Second,
+	}.withDefaults()
+
+	results := make([]map[int64]float64, workers)
+	done := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			conn := &jitterConn{Conn: net.Conn(i), rng: rand.New(rand.NewSource(int64(i)))}
+			local, err := RunWorker(plan, cfg, conn)
+			results[i] = local
+			done <- err
+		}(i)
+	}
+	if _, converged, err := RunMaster(plan, cfg, net.Conn(transport.MasterID(workers))); err != nil || !converged {
+		t.Fatalf("master: converged=%v err=%v", converged, err)
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Close()
+
+	merged := map[int64]float64{}
+	for _, local := range results {
+		for k, v := range local {
+			merged[k] = v
+		}
+	}
+	want := dijkstraOracle(g)
+	for v, w := range want {
+		if math.IsInf(w, 1) {
+			continue
+		}
+		if merged[int64(v)] != w {
+			t.Fatalf("sssp(%d) = %v, want %v", v, merged[int64(v)], w)
+		}
+	}
+}
+
+// dijkstraOracle avoids importing ref (would be fine, but keeps this
+// test self-contained with a second independent implementation).
+func dijkstraOracle(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	visited := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	for {
+		best, bd := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !visited[v] && dist[v] < bd {
+				best, bd = v, dist[v]
+			}
+		}
+		if best < 0 {
+			return dist
+		}
+		visited[best] = true
+		ts, ws := g.Neighbors(int32(best))
+		for i, t := range ts {
+			w := 1.0
+			if ws != nil {
+				w = ws[i]
+			}
+			if nd := bd + w; nd < dist[t] {
+				dist[t] = nd
+			}
+		}
+	}
+}

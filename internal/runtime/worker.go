@@ -1,0 +1,396 @@
+package runtime
+
+import (
+	"time"
+
+	"powerlog/internal/agg"
+	"powerlog/internal/ckpt"
+	"powerlog/internal/compiler"
+	"powerlog/internal/graph"
+	"powerlog/internal/monotable"
+	"powerlog/internal/transport"
+)
+
+// worker owns one MonoTable shard and runs the compute loop of its mode.
+// It has a dedicated communication goroutine (paper §5.3: "a dedicated
+// thread for the communication among workers") fed through w.out.
+type worker struct {
+	id   int
+	nw   int
+	cfg  Config
+	plan *compiler.Plan
+	conn transport.Conn
+
+	table monotable.Table // the shard (MRA modes: the only table)
+	next  monotable.Table // naive mode: the table being built this round
+	apply monotable.Table // where incoming Data folds land (next in naive mode)
+
+	ownBase []compiler.KV            // naive mode: owned base tuples re-derived per round
+	naive   *compiler.NaiveEvaluator // naive mode: per-worker relational join
+
+	out      chan outMsg
+	outCtrl  chan outMsg // control lane: skips ahead of bulk data on the NIC
+	commDone chan struct{}
+
+	// Per-destination adaptive buffers (paper §5.3). Each buffer folds
+	// updates per key with the program's aggregate before sending — the
+	// sender-side combining that makes a buffered update "accumulate"
+	// rather than queue (Figure 7's Intermediate, applied pre-wire).
+	bufs      []*outBuf
+	beta      []float64
+	lastFlush []time.Time
+	winStart  time.Time
+	winCount  []int64 // |B(i,j)| accumulated in the current window ΔT
+
+	// AAP state: recent in-message volume drives the mode switch.
+	inWindow   int64
+	outWindow  int64
+	aapDelayed bool
+
+	sent, recv int64
+	flushes    int64
+	accDelta   float64 // Σ|acc change| since last stats reply
+	passes     int64   // async compute-loop iterations
+	rounds     int
+
+	// low-priority holding (§5.4)
+	lowPrioHeld  bool
+	thresholdOff bool
+
+	// control-state set by handle()
+	stopped    bool
+	endPhases  int
+	verdict    transport.Kind // Continue or Stop, valid when verdictSet
+	verdictSet bool
+}
+
+type outMsg struct {
+	to int
+	m  transport.Message
+}
+
+func newWorker(id int, cfg Config, plan *compiler.Plan, conn transport.Conn) *worker {
+	w := &worker{
+		id:   id,
+		nw:   cfg.Workers,
+		cfg:  cfg,
+		plan: plan,
+		conn: conn,
+
+		out:      make(chan outMsg, 256),
+		outCtrl:  make(chan outMsg, 64),
+		commDone: make(chan struct{}),
+
+		bufs:      make([]*outBuf, cfg.Workers),
+		beta:      make([]float64, cfg.Workers),
+		lastFlush: make([]time.Time, cfg.Workers),
+		winCount:  make([]int64, cfg.Workers),
+		winStart:  time.Now(),
+	}
+	w.table = w.newTable()
+	w.apply = w.table
+	now := time.Now()
+	for j := range w.beta {
+		w.bufs[j] = newOutBuf(plan.Op)
+		w.beta[j] = float64(cfg.BetaInit)
+		w.lastFlush[j] = now
+	}
+	go w.commLoop()
+	return w
+}
+
+func (w *worker) newTable() monotable.Table {
+	if w.plan.PairKeys {
+		return monotable.NewSparse(w.plan.Op)
+	}
+	return monotable.NewDense(w.plan.Op, w.plan.N, int64(w.nw), int64(w.id))
+}
+
+func (w *worker) owner(key int64) int { return graph.Partition(key, w.nw) }
+
+func (w *worker) commLoop() {
+	defer close(w.commDone)
+	emu := w.cfg.Network
+	try, canTry := w.conn.(transport.TrySender)
+	sendCtl := func(om outMsg) {
+		if emu.Enabled() {
+			time.Sleep(emu.cost(len(om.m.KVs)))
+		}
+		_ = w.conn.Send(om.to, om.m)
+	}
+	send := func(om outMsg) {
+		if emu.Enabled() {
+			// The communication thread is the NIC: messages serialise
+			// through it and each pays latency + volume/bandwidth.
+			time.Sleep(emu.cost(len(om.m.KVs)))
+		}
+		if !canTry {
+			_ = w.conn.Send(om.to, om.m)
+			return
+		}
+		// Avoid head-of-line blocking: while the destination is
+		// back-pressured, keep the control lane moving.
+		for {
+			ok, err := try.TrySend(om.to, om.m)
+			if ok || err != nil {
+				return
+			}
+			select {
+			case ctl, chOk := <-w.outCtrl:
+				if !chOk {
+					w.outCtrl = nil
+					_ = w.conn.Send(om.to, om.m)
+					return
+				}
+				sendCtl(ctl)
+			default:
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+	}
+	for {
+		// Control traffic (stats replies, barrier markers) rides a
+		// priority lane so bulk data cannot starve the termination check.
+		select {
+		case om, ok := <-w.outCtrl:
+			if !ok {
+				w.outCtrl = nil
+				continue
+			}
+			send(om)
+			continue
+		default:
+		}
+		select {
+		case om, ok := <-w.outCtrl:
+			if !ok {
+				w.outCtrl = nil
+				continue
+			}
+			send(om)
+		case om, ok := <-w.out:
+			if !ok {
+				// Drain any remaining control messages, then exit.
+				for {
+					select {
+					case om, ok := <-w.outCtrl:
+						if !ok {
+							return
+						}
+						send(om)
+					default:
+						return
+					}
+				}
+			}
+			send(om)
+		}
+	}
+}
+
+// enqueue hands a message to the comm goroutine, draining the inbox while
+// the queue is full so workers can never deadlock on mutual back-pressure.
+// Master-bound reports take the control lane; EndPhase markers must NOT —
+// they fence the data sent before them, so they ride the data lane to
+// preserve per-destination ordering.
+func (w *worker) enqueue(to int, m transport.Message) {
+	lane := w.out
+	if m.Kind == transport.StatsReply || m.Kind == transport.PhaseDone {
+		lane = w.outCtrl
+	}
+	for {
+		select {
+		case lane <- outMsg{to, m}:
+			return
+		case in, ok := <-w.conn.Inbox():
+			if !ok {
+				return
+			}
+			w.handle(in)
+		}
+	}
+}
+
+// handle processes one incoming message. It is called from every place
+// the worker blocks, so it must only mutate worker-local state.
+func (w *worker) handle(m transport.Message) {
+	switch m.Kind {
+	case transport.Data:
+		for _, kv := range m.KVs {
+			w.apply.FoldDelta(kv.K, kv.V)
+		}
+		w.recv += int64(len(m.KVs))
+		w.inWindow += int64(len(m.KVs))
+	case transport.EndPhase:
+		w.endPhases++
+	case transport.Continue:
+		w.verdict, w.verdictSet = transport.Continue, true
+	case transport.Stop:
+		w.stopped = true
+		w.verdict, w.verdictSet = transport.Stop, true
+	case transport.StatsRequest:
+		w.replyStats(m.Round)
+	}
+}
+
+func (w *worker) replyStats(round int) {
+	idle := !w.table.HasDirty() && !w.lowPrioHeld && w.buffersEmpty()
+	// The paper's termination thread evaluates the aggregation of the
+	// Accumulation column; the master diffs consecutive global values.
+	accSum := 0.0
+	w.table.Range(func(_ int64, v float64) bool {
+		accSum += v
+		return true
+	})
+	st := transport.Stats{
+		Sent:     w.sent,
+		Recv:     w.recv,
+		AccDelta: w.accDelta,
+		AccSum:   accSum,
+		Passes:   w.passes,
+		Idle:     idle,
+		Dirty:    w.table.HasDirty() || w.lowPrioHeld || !w.buffersEmpty(),
+	}
+	w.accDelta = 0
+	w.enqueue(transport.MasterID(w.nw), transport.Message{
+		Kind: transport.StatsReply, Round: round, Stats: st,
+	})
+}
+
+func (w *worker) buffersEmpty() bool {
+	for _, b := range w.bufs {
+		if b.len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// seed folds this worker's share of ΔX¹ into its shard.
+func (w *worker) seed(init []compiler.KV) {
+	for _, kv := range init {
+		if w.owner(kv.K) == w.id {
+			w.table.FoldDelta(kv.K, kv.V)
+		}
+	}
+}
+
+// restore loads this worker's share of a checkpoint: accumulations are
+// installed directly, pending intermediates re-folded so the run resumes
+// exactly where the snapshot's barrier left it.
+func (w *worker) restore(rows []ckpt.Row) {
+	id := w.plan.Op.Identity()
+	for _, r := range rows {
+		if w.owner(r.Key) != w.id {
+			continue
+		}
+		if r.Acc != id {
+			w.table.SetAcc(r.Key, r.Acc)
+		}
+		if r.Inter != id {
+			w.table.FoldDelta(r.Key, r.Inter)
+		}
+	}
+}
+
+// snapshot writes this worker's shard state (called at a BSP barrier).
+func (w *worker) snapshot() error {
+	var rows []ckpt.Row
+	w.table.RangeRows(func(k int64, acc, inter float64) bool {
+		rows = append(rows, ckpt.Row{Key: k, Acc: acc, Inter: inter})
+		return true
+	})
+	return ckpt.SaveShard(w.cfg.SnapshotDir, w.id, rows)
+}
+
+// flush sends buffer j if it is non-empty.
+func (w *worker) flush(j int) {
+	kvs := w.bufs[j].take()
+	if len(kvs) == 0 {
+		return
+	}
+	w.sent += int64(len(kvs))
+	w.outWindow += int64(len(kvs))
+	w.flushes++
+	w.lastFlush[j] = time.Now()
+	w.enqueue(j, transport.Message{Kind: transport.Data, KVs: kvs})
+}
+
+func (w *worker) flushAll() {
+	for j := range w.bufs {
+		w.flush(j)
+	}
+}
+
+// drainInbox applies all currently queued messages without blocking.
+func (w *worker) drainInbox() bool {
+	progressed := false
+	for {
+		select {
+		case m, ok := <-w.conn.Inbox():
+			if !ok {
+				w.stopped = true
+				return progressed
+			}
+			w.handle(m)
+			progressed = true
+		default:
+			return progressed
+		}
+	}
+}
+
+// outBuf is a per-destination buffer that folds same-key updates with
+// the program's aggregate, in arrival order of first touch.
+type outBuf struct {
+	op    *agg.Op
+	vals  map[int64]float64
+	order []int64
+}
+
+func newOutBuf(op *agg.Op) *outBuf {
+	return &outBuf{op: op, vals: map[int64]float64{}}
+}
+
+// add folds v into the buffered update for key.
+func (b *outBuf) add(key int64, v float64) {
+	if cur, ok := b.vals[key]; ok {
+		b.vals[key] = b.op.Fold(cur, v)
+		return
+	}
+	b.vals[key] = v
+	b.order = append(b.order, key)
+}
+
+func (b *outBuf) len() int { return len(b.order) }
+
+// take drains the buffer into a KV slice (first-touch order).
+func (b *outBuf) take() []transport.KV {
+	if len(b.order) == 0 {
+		return nil
+	}
+	kvs := make([]transport.KV, len(b.order))
+	for i, k := range b.order {
+		kvs[i] = transport.KV{K: k, V: b.vals[k]}
+	}
+	b.vals = map[int64]float64{}
+	b.order = b.order[:0]
+	return kvs
+}
+
+// run executes the worker until the master stops it.
+func (w *worker) run() {
+	defer func() {
+		close(w.out)
+		close(w.outCtrl)
+		<-w.commDone
+	}()
+	switch w.cfg.Mode {
+	case NaiveSync:
+		w.runBSP(true)
+	case MRASync:
+		w.runBSP(false)
+	default:
+		w.runAsync()
+	}
+}

@@ -1,0 +1,137 @@
+package smt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powerlog/internal/expr"
+)
+
+// sumTemplate builds the Figure-4 Property-2 template for g = sum.
+func sumTemplate(f func(*expr.Expr) *expr.Expr) (lhs, rhs *expr.Expr) {
+	add := expr.Add
+	x1, y1, x2, y2 := expr.Var("x1"), expr.Var("y1"), expr.Var("x2"), expr.Var("y2")
+	lhs = add(f(add(x1, y1)), f(add(x2, y2)))
+	rhs = add(add(add(f(x1), f(y1)), f(x2)), f(y2))
+	return lhs, rhs
+}
+
+// TestFuzzLinearAlwaysValid: for any random linear f (coefficients built
+// from constants and parameters), Property 2 under sum must be proven
+// Valid — the solver must never report Invalid or Unknown on these.
+func TestFuzzLinearAlwaysValid(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		coef := randomCoefficient(rng)
+		f := func(x *expr.Expr) *expr.Expr { return expr.Mul(coef, x) }
+		lhs, rhs := sumTemplate(f)
+		res := ProveEq(lhs, rhs, nil)
+		if res.Verdict != Valid {
+			t.Logf("seed %d: coef=%s verdict=%v (%s)", seed, coef, res.Verdict, res.Reason)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFuzzAffineConstantAlwaysInvalid: f = a·x + b with a provable
+// nonzero... actually with b a nonzero constant, sum's Property 2 fails;
+// the solver must find a counterexample (never claim Valid).
+func TestFuzzAffineConstantAlwaysInvalid(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := float64(1 + rng.Intn(9)) // nonzero constant term
+		coef := randomCoefficient(rng)
+		f := func(x *expr.Expr) *expr.Expr { return expr.Add(expr.Mul(coef, x), expr.Num(b)) }
+		lhs, rhs := sumTemplate(f)
+		res := ProveEq(lhs, rhs, nil)
+		if res.Verdict == Valid {
+			t.Logf("seed %d: b=%v wrongly proven valid", seed, b)
+			return false
+		}
+		// Soundness of the refutation: the witness must separate sides.
+		if res.Verdict == Invalid {
+			l, r := lhs.Eval(res.Witness), rhs.Eval(res.Witness)
+			if l == r {
+				t.Logf("seed %d: bogus witness %v", seed, res.Witness)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFuzzReluNeverValid: any f that routes x through relu breaks
+// Property 2 under sum; the solver must never claim Valid, and its
+// counterexamples must be genuine.
+func TestFuzzReluNeverValid(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := 0.5 + rng.Float64()
+		f := func(x *expr.Expr) *expr.Expr {
+			return expr.Mul(expr.Call("relu", x), expr.Num(scale))
+		}
+		lhs, rhs := sumTemplate(f)
+		res := ProveEq(lhs, rhs, nil)
+		if res.Verdict == Valid {
+			return false
+		}
+		if res.Verdict == Invalid {
+			l, r := lhs.Eval(res.Witness), rhs.Eval(res.Witness)
+			if l == r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFuzzMinAffineNonNegValid: min with f = x + c (c ≥ 0 constant) is
+// always Property-2 valid via case splitting (no lemma shortcut here —
+// this exercises the Fourier–Motzkin path).
+func TestFuzzMinAffineNonNegValid(t *testing.T) {
+	for c := 0; c < 5; c++ {
+		f := func(x *expr.Expr) *expr.Expr { return expr.Add(x, expr.Num(float64(c))) }
+		min := func(a, b *expr.Expr) *expr.Expr { return expr.Call("min", a, b) }
+		x1, y1, x2, y2 := expr.Var("x1"), expr.Var("y1"), expr.Var("x2"), expr.Var("y2")
+		lhs := min(f(min(x1, y1)), f(min(x2, y2)))
+		rhs := min(min(min(f(x1), f(y1)), f(x2)), f(y2))
+		res := ProveEq(lhs, rhs, nil)
+		if res.Verdict != Valid {
+			t.Errorf("min with f=x+%d: %v (%s)", c, res.Verdict, res.Reason)
+		}
+	}
+}
+
+// randomCoefficient builds a (possibly symbolic) multiplier from
+// constants and free parameters: products and quotients only, so f stays
+// linear in x.
+func randomCoefficient(rng *rand.Rand) *expr.Expr {
+	parts := 1 + rng.Intn(3)
+	out := expr.Num(0.1 + rng.Float64())
+	for i := 0; i < parts; i++ {
+		var p *expr.Expr
+		if rng.Intn(2) == 0 {
+			p = expr.Num(0.1 + 2*rng.Float64())
+		} else {
+			p = expr.Var(fmt.Sprintf("c%d", rng.Intn(3)))
+		}
+		if rng.Intn(4) == 0 {
+			out = expr.Div(out, p)
+		} else {
+			out = expr.Mul(out, p)
+		}
+	}
+	return out
+}

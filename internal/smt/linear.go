@@ -1,0 +1,148 @@
+package smt
+
+import (
+	"math/big"
+	"sort"
+)
+
+// linIneq is a linear inequality  Σ coef[v]·v + konst  (≥ | >)  0.
+// Non-strict when strict is false.
+type linIneq struct {
+	coef   map[string]*big.Rat
+	konst  *big.Rat
+	strict bool
+}
+
+func (q *linIneq) clone() *linIneq {
+	c := make(map[string]*big.Rat, len(q.coef))
+	for v, r := range q.coef {
+		c[v] = new(big.Rat).Set(r)
+	}
+	return &linIneq{coef: c, konst: new(big.Rat).Set(q.konst), strict: q.strict}
+}
+
+// linFromPoly converts a degree-≤1 polynomial to linear form.
+// ok is false for higher-degree polynomials.
+func linFromPoly(p Poly) (coef map[string]*big.Rat, konst *big.Rat, ok bool) {
+	coef = map[string]*big.Rat{}
+	konst = new(big.Rat)
+	for k, c := range p {
+		if k == "" {
+			konst.Set(c)
+			continue
+		}
+		m := decodeMono(k)
+		if len(m) != 1 {
+			return nil, nil, false
+		}
+		for v, pow := range m {
+			if pow != 1 {
+				return nil, nil, false
+			}
+			coef[v] = new(big.Rat).Set(c)
+		}
+	}
+	return coef, konst, true
+}
+
+// fmFeasible decides satisfiability of a conjunction of linear inequalities
+// over the reals by Fourier–Motzkin elimination. It is sound and complete
+// for linear real arithmetic. The input inequalities are not modified.
+func fmFeasible(ineqs []*linIneq) bool {
+	// Work on copies.
+	sys := make([]*linIneq, len(ineqs))
+	for i, q := range ineqs {
+		sys[i] = q.clone()
+	}
+	for {
+		// Gather remaining variables.
+		varSet := map[string]bool{}
+		for _, q := range sys {
+			for v, c := range q.coef {
+				if c.Sign() != 0 {
+					varSet[v] = true
+				}
+			}
+		}
+		if len(varSet) == 0 {
+			// Ground system: every inequality is konst (≥|>) 0.
+			for _, q := range sys {
+				s := q.konst.Sign()
+				if s < 0 || (s == 0 && q.strict) {
+					return false
+				}
+			}
+			return true
+		}
+		vars := make([]string, 0, len(varSet))
+		for v := range varSet {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		v := vars[0]
+
+		var lowers, uppers, others []*linIneq
+		for _, q := range sys {
+			c := q.coef[v]
+			switch {
+			case c == nil || c.Sign() == 0:
+				others = append(others, q)
+			case c.Sign() > 0:
+				lowers = append(lowers, q) // a·v + rest ≥ 0 with a>0: v ≥ -rest/a
+			default:
+				uppers = append(uppers, q)
+			}
+		}
+		// Eliminate v: combine every (lower, upper) pair.
+		next := others
+		for _, lo := range lowers {
+			for _, up := range uppers {
+				next = append(next, combine(lo, up, v))
+			}
+		}
+		// If v had only lower or only upper bounds, those constraints are
+		// always satisfiable for some v and vanish.
+		if len(next) == len(others) && (len(lowers) > 0 || len(uppers) > 0) && len(lowers)*len(uppers) == 0 {
+			// nothing to add
+		}
+		sys = next
+	}
+}
+
+// combine eliminates variable v from lower bound lo (coef>0) and upper
+// bound up (coef<0): a·v + L ≥ 0 and -b·v + U ≥ 0 (a,b>0) imply
+// b·L + a·U ≥ 0; the result is strict if either input is strict.
+func combine(lo, up *linIneq, v string) *linIneq {
+	a := new(big.Rat).Set(lo.coef[v]) // > 0
+	b := new(big.Rat).Neg(up.coef[v]) // > 0
+	out := &linIneq{coef: map[string]*big.Rat{}, konst: new(big.Rat), strict: lo.strict || up.strict}
+	acc := func(src map[string]*big.Rat, factor *big.Rat) {
+		tmp := new(big.Rat)
+		for name, c := range src {
+			if name == v {
+				continue
+			}
+			tmp.Mul(c, factor)
+			if cur, ok := out.coef[name]; ok {
+				cur.Add(cur, tmp)
+			} else {
+				out.coef[name] = new(big.Rat).Set(tmp)
+			}
+			tmp = new(big.Rat)
+		}
+	}
+	acc(lo.coef, b)
+	acc(up.coef, a)
+	t := new(big.Rat)
+	t.Mul(lo.konst, b)
+	out.konst.Add(out.konst, t)
+	t = new(big.Rat)
+	t.Mul(up.konst, a)
+	out.konst.Add(out.konst, t)
+	for name, c := range out.coef {
+		if c.Sign() == 0 {
+			delete(out.coef, name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ChannelNetwork is the in-process transport: one buffered channel per
+// endpoint. Endpoint n (the last) is the master.
+type ChannelNetwork struct {
+	chans []chan Message
+	conns []*channelConn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewChannelNetwork creates a network with n workers plus a master
+// endpoint. bufCap is the per-endpoint inbox capacity (a sensible default
+// is chosen when 0).
+func NewChannelNetwork(n int, bufCap int) *ChannelNetwork {
+	if bufCap <= 0 {
+		bufCap = 1024
+	}
+	net := &ChannelNetwork{
+		chans: make([]chan Message, n+1),
+		conns: make([]*channelConn, n+1),
+	}
+	for i := range net.chans {
+		net.chans[i] = make(chan Message, bufCap)
+		net.conns[i] = &channelConn{net: net, id: i, workers: n}
+	}
+	return net
+}
+
+// Conn returns endpoint i's connection (workers 0..n-1, master n).
+func (n *ChannelNetwork) Conn(i int) Conn { return n.conns[i] }
+
+// Close shuts the network down, closing every inbox.
+func (n *ChannelNetwork) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.closed = true
+	for _, ch := range n.chans {
+		close(ch)
+	}
+}
+
+type channelConn struct {
+	net     *ChannelNetwork
+	id      int
+	workers int
+}
+
+func (c *channelConn) ID() int      { return c.id }
+func (c *channelConn) Workers() int { return c.workers }
+
+// TrySend attempts a non-blocking delivery; it reports false when the
+// destination inbox is full. The runtime uses it to keep control traffic
+// flowing while bulk data is back-pressured.
+func (c *channelConn) TrySend(to int, m Message) (bool, error) {
+	if to < 0 || to >= len(c.net.chans) {
+		return false, fmt.Errorf("transport: no endpoint %d", to)
+	}
+	m.From = c.id
+	ok := true
+	func() {
+		defer func() { recover() }()
+		select {
+		case c.net.chans[to] <- m:
+		default:
+			ok = false
+		}
+	}()
+	return ok, nil
+}
+
+func (c *channelConn) Send(to int, m Message) error {
+	if to < 0 || to >= len(c.net.chans) {
+		return fmt.Errorf("transport: no endpoint %d", to)
+	}
+	m.From = c.id
+	defer func() {
+		// Sending on a closed network after Stop is benign; report it as
+		// an error rather than crashing the worker goroutine.
+		recover()
+	}()
+	c.net.chans[to] <- m
+	return nil
+}
+
+func (c *channelConn) Inbox() <-chan Message { return c.net.chans[c.id] }
+
+func (c *channelConn) Close() error { return nil }

@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPConn is a network endpoint over TCP with gob framing — the
+// multi-process stand-in for the original system's OpenMPI layer. Every
+// endpoint listens on its own address and lazily dials peers; one TCP
+// connection per (sender, receiver) pair preserves pairwise ordering.
+type TCPConn struct {
+	id      int
+	workers int
+	addrs   []string // len workers+1; index = endpoint id
+
+	listener net.Listener
+	inbox    chan Message
+
+	mu       sync.Mutex
+	outs     map[int]*outConn
+	accepted []net.Conn
+	done     chan struct{}
+	wg       sync.WaitGroup
+	cerr     error
+	close    sync.Once
+}
+
+type outConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewTCPEndpoint starts endpoint id of a TCP network whose endpoints live
+// at addrs (workers 0..n-1 then the master at index n). The endpoint
+// listens immediately; peers are dialled on first send, so endpoints may
+// start in any order as long as sends begin after all peers listen.
+func NewTCPEndpoint(id, workers int, addrs []string) (*TCPConn, error) {
+	if len(addrs) != workers+1 {
+		return nil, fmt.Errorf("transport: need %d addresses, got %d", workers+1, len(addrs))
+	}
+	if id < 0 || id > workers {
+		return nil, fmt.Errorf("transport: bad endpoint id %d", id)
+	}
+	l, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[id], err)
+	}
+	t := &TCPConn{
+		id:       id,
+		workers:  workers,
+		addrs:    addrs,
+		listener: l,
+		inbox:    make(chan Message, 4096),
+		outs:     map[int]*outConn{},
+		done:     make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the address the endpoint is actually listening on (useful
+// when addrs contained ":0").
+func (t *TCPConn) Addr() string { return t.listener.Addr().String() }
+
+// SetAddressBook replaces the peer address table. Call it before any
+// Send when endpoints were started on ephemeral (":0") ports and the
+// real addresses were exchanged out of band.
+func (t *TCPConn) SetAddressBook(addrs []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs = append([]string(nil), addrs...)
+}
+
+// ID implements Conn.
+func (t *TCPConn) ID() int { return t.id }
+
+// Workers implements Conn.
+func (t *TCPConn) Workers() int { return t.workers }
+
+// Inbox implements Conn.
+func (t *TCPConn) Inbox() <-chan Message { return t.inbox }
+
+func (t *TCPConn) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		t.accepted = append(t.accepted, c)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCPConn) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		select {
+		case t.inbox <- m:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Send implements Conn.
+func (t *TCPConn) Send(to int, m Message) error {
+	m.From = t.id
+	oc, err := t.dial(to)
+	if err != nil {
+		return err
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return oc.enc.Encode(m)
+}
+
+func (t *TCPConn) dial(to int) (*outConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if oc, ok := t.outs[to]; ok {
+		return oc, nil
+	}
+	if to < 0 || to >= len(t.addrs) {
+		return nil, fmt.Errorf("transport: no endpoint %d", to)
+	}
+	c, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial endpoint %d at %s: %w", to, t.addrs[to], err)
+	}
+	oc := &outConn{c: c, enc: gob.NewEncoder(c)}
+	t.outs[to] = oc
+	return oc, nil
+}
+
+// Close implements Conn.
+func (t *TCPConn) Close() error {
+	t.close.Do(func() {
+		close(t.done)
+		t.cerr = t.listener.Close()
+		t.mu.Lock()
+		for _, oc := range t.outs {
+			oc.c.Close()
+		}
+		for _, c := range t.accepted {
+			c.Close()
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+		close(t.inbox)
+	})
+	return t.cerr
+}

@@ -1,0 +1,90 @@
+// Package transport carries messages between PowerLog's distributed
+// workers and the master. It replaces the OpenMPI layer of the original
+// system with two interchangeable implementations: an in-process channel
+// network (used by tests and benches) and a TCP network on net+gob (used
+// by the multi-process cluster example). The engine is written against
+// the Conn interface only.
+package transport
+
+import "fmt"
+
+// KV is one key/value update travelling between workers (a delta to fold
+// into the destination row's Intermediate entry).
+type KV struct {
+	K int64
+	V float64
+}
+
+// Kind discriminates messages.
+type Kind uint8
+
+// Message kinds. Data carries folded deltas; the rest implement barrier
+// and termination-control protocols (paper §5.3–5.4).
+const (
+	Data         Kind = iota // KV batch from a peer worker
+	EndPhase                 // BSP: sender finished its send phase
+	PhaseDone                // BSP: worker → master, phase complete + stats
+	Continue                 // master → workers: run another superstep
+	StatsRequest             // master → workers: report stats for round N
+	StatsReply               // workers → master
+	Stop                     // master → workers: terminate
+)
+
+// String names the message kind.
+func (k Kind) String() string {
+	names := [...]string{"Data", "EndPhase", "PhaseDone", "Continue", "StatsRequest", "StatsReply", "Stop"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Stats is a worker's progress report.
+type Stats struct {
+	Sent     int64   // cumulative KVs sent
+	Recv     int64   // cumulative KVs received
+	AccDelta float64 // Σ|accumulation change| since last report
+	AccSum   float64 // aggregate over the local Accumulation column (§5.4's termination thread)
+	Passes   int64   // compute-loop passes completed (progress gating for ε checks)
+	Idle     bool    // no local work pending
+	Dirty    bool    // table has dirty rows or unflushed buffers
+}
+
+// Message is the single wire format for data and control traffic.
+type Message struct {
+	Kind  Kind
+	From  int
+	Round int
+	KVs   []KV
+	Stats Stats
+}
+
+// Conn is one endpoint's connection to the network. Inbox returns a
+// single stream of all incoming messages. Send must be safe for
+// concurrent use; messages between a fixed (sender, receiver) pair are
+// delivered in order.
+type Conn interface {
+	// ID is this endpoint's index: workers are 0..Workers-1, the master
+	// is Workers.
+	ID() int
+	// Workers is the number of worker endpoints.
+	Workers() int
+	// Send delivers m to endpoint `to`. The message (including the KV
+	// slice) must not be modified after Send.
+	Send(to int, m Message) error
+	// Inbox is the endpoint's receive stream. It is closed when the
+	// network shuts down.
+	Inbox() <-chan Message
+	// Close releases the endpoint.
+	Close() error
+}
+
+// TrySender is an optional Conn capability: non-blocking sends, so a
+// sender can interleave other work while a destination is back-pressured.
+type TrySender interface {
+	TrySend(to int, m Message) (bool, error)
+}
+
+// MasterID returns the endpoint index of the master for a network with n
+// workers.
+func MasterID(n int) int { return n }

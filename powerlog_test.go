@@ -1,0 +1,197 @@
+package powerlog
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"powerlog/internal/gen"
+	"powerlog/internal/ref"
+)
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewGraph(4, []Edge{
+		{Src: 0, Dst: 1, W: 5}, {Src: 0, Dst: 2, W: 3},
+		{Src: 1, Dst: 2, W: 1}, {Src: 2, Dst: 3, W: 2},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEndToEndSSSP(t *testing.T) {
+	prog, err := Parse(Programs.SSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name() != "sssp" || prog.Aggregate() != "min" {
+		t.Errorf("name=%s agg=%s", prog.Name(), prog.Aggregate())
+	}
+	rep := prog.Check()
+	if !rep.Satisfied {
+		t.Fatalf("SSSP must satisfy MRA:\n%s", rep)
+	}
+	db := NewDatabase()
+	db.SetGraph("edge", testGraph(t))
+	plan, err := prog.Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(plan, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]float64{0: 0, 1: 5, 2: 3, 3: 5}
+	for k, w := range want {
+		if res.Values[k] != w {
+			t.Errorf("sssp(%d) = %v, want %v", k, res.Values[k], w)
+		}
+	}
+	if !strings.Contains(Summary(res), "converged=true") {
+		t.Errorf("summary: %s", Summary(res))
+	}
+}
+
+func TestAllCatalogueProgramsParse(t *testing.T) {
+	for _, src := range []string{
+		Programs.SSSP, Programs.CC, Programs.PageRank, Programs.Adsorption,
+		Programs.Katz, Programs.BP, Programs.PathsDAG, Programs.Cost,
+		Programs.Viterbi, Programs.SimRank, Programs.LCA, Programs.APSP,
+		Programs.CommNet, Programs.GCNForward,
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("catalogue program failed to parse: %v", err)
+		}
+	}
+}
+
+func TestCheckSourceRejectsGCN(t *testing.T) {
+	rep, err := CheckSource(Programs.GCNForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Fatal("GCN-Forward must fail the MRA check")
+	}
+}
+
+// TestRunGateForcesNaive verifies the Figure-2 pipeline: a program that
+// fails the condition check must not run incrementally/asynchronously
+// even when the caller asks for it — Run silently falls back to naive
+// synchronous evaluation, which is always correct.
+func TestRunGateForcesNaive(t *testing.T) {
+	// sum over x² is nonlinear: the checker rejects it; MRA evaluation
+	// would square deltas instead of totals and give garbage.
+	src := `
+r1. q(X,v) :- X=0, v = 2.
+r2. q(Y,sum[v1]) :- q(X,v), dag(X,Y), v1 = v * v.
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Check().Satisfied {
+		t.Fatal("quadratic program must fail the check")
+	}
+	// A 2-level DAG: 0 → 1 → 2.
+	g, err := NewGraph(3, []Edge{{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 2, W: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	db.SetGraph("dag", g)
+	plan, err := prog.Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(plan, Options{Mode: ModeSyncAsync, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive semantics: q(1) = q(0)² = 4, q(2) = q(1)² = 16.
+	if res.Values[1] != 4 || res.Values[2] != 16 {
+		t.Errorf("values = %v; the gate must have failed (async would corrupt these)", res.Values)
+	}
+}
+
+func TestRewriteFacade(t *testing.T) {
+	prog, err := Parse(Programs.PageRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := prog.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "rank(0,Y,ry)") {
+		t.Errorf("rewrite missing init rule:\n%s", text)
+	}
+	bad, err := Parse(Programs.CommNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Rewrite(); err == nil {
+		t.Error("CommNet rewrite must fail")
+	}
+}
+
+func TestLoadGraphTSVFacade(t *testing.T) {
+	g, err := LoadGraphTSV(strings.NewReader("0 1 2.5\n1 2 1\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Errorf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestPublicAPIMatchesOracle(t *testing.T) {
+	g := gen.Uniform(200, 1200, 30, 99)
+	want := ref.Dijkstra(g, 0)
+	prog, err := Parse(Programs.SSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	db.SetGraph("edge", g)
+	plan, err := prog.Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, w := range want {
+		if math.IsInf(w, 1) {
+			continue
+		}
+		if math.Abs(res.Values[int64(v)]-w) > 1e-9 {
+			t.Fatalf("sssp(%d) = %v, want %v", v, res.Values[int64(v)], w)
+		}
+	}
+}
+
+func TestRelationFacade(t *testing.T) {
+	r := NewRelation("attr", 2)
+	r.Add(0, 1.5)
+	if r.Len() != 1 {
+		t.Error("relation add failed")
+	}
+	db := NewDatabase()
+	db.AddRelation(r)
+	if !db.HasPred("attr") {
+		t.Error("relation not registered")
+	}
+}
+
+func TestParseErrorsSurface(t *testing.T) {
+	if _, err := Parse("not datalog"); err == nil {
+		t.Error("parse error expected")
+	}
+	if _, err := Parse("a(X,v) :- b(X,v)."); err == nil {
+		t.Error("non-recursive program should be rejected at analysis")
+	}
+}
