@@ -1,0 +1,26 @@
+# Tier-1 verification for this repo: `make check` is what CI and the
+# ROADMAP's verify step run. The race pass covers the packages on the
+# zero-allocation message path (combiner → pooled batches → codec →
+# MonoTable fold), where a recycle-contract violation would surface as a
+# data race.
+.PHONY: check build vet test race bench
+
+check: vet build test race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/runtime/... ./internal/transport/... ./internal/monotable/...
+
+# Hot-path microbenches with allocation counts (BENCH_PR1.json records
+# the tracked numbers).
+bench:
+	go test -run xxx -bench 'BenchmarkOutBuf' -benchmem ./internal/runtime/
+	go test -run xxx -bench 'BenchmarkCodec' -benchmem ./internal/transport/

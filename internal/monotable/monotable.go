@@ -44,10 +44,14 @@ type Table interface {
 	Acc(key int64) float64
 
 	// FoldAcc folds v into key's Accumulation. It reports whether the
-	// entry improved and the magnitude of the change (an identity→v jump
+	// entry improved, the magnitude of the change (an identity→v jump
 	// improves with magnitude |v|, so a shortest-path source at distance
-	// 0 still counts as an improvement).
-	FoldAcc(key int64, v float64) (improved bool, change float64)
+	// 0 still counts as an improvement), and the signed delta the fold
+	// contributed to the shard's Σacc over non-identity rows (a row born
+	// from the identity contributes its full new value). The signed
+	// delta lets callers maintain a running accumulation sum instead of
+	// re-scanning the shard (§5.4's termination check made O(1)).
+	FoldAcc(key int64, v float64) (improved bool, change, accDelta float64)
 
 	// ScanDirty drains the dirty set, invoking f for each dirty key. Keys
 	// made dirty again during the scan are observed by a later scan.
@@ -139,7 +143,7 @@ func (d *Dense) Drain(key int64) (float64, bool) {
 func (d *Dense) Acc(key int64) float64 { return agg.Load(&d.acc[d.slot(key)]) }
 
 // FoldAcc implements Table.
-func (d *Dense) FoldAcc(key int64, v float64) (bool, float64) {
+func (d *Dense) FoldAcc(key int64, v float64) (bool, float64, float64) {
 	return foldAccCell(d.op, &d.acc[d.slot(key)], v)
 }
 
@@ -284,7 +288,7 @@ func (s *Sparse) Acc(key int64) float64 {
 }
 
 // FoldAcc implements Table.
-func (s *Sparse) FoldAcc(key int64, v float64) (bool, float64) {
+func (s *Sparse) FoldAcc(key int64, v float64) (bool, float64, float64) {
 	s.mu.Lock()
 	r := s.row(key)
 	s.mu.Unlock()
@@ -374,18 +378,23 @@ func (s *Sparse) Len() int {
 	return n
 }
 
-// foldAccCell folds v into an accumulation cell, reporting improvement
-// and |change|.
-func foldAccCell(op *agg.Op, cell *uint64, v float64) (bool, float64) {
+// foldAccCell folds v into an accumulation cell, reporting improvement,
+// |change|, and the signed Σacc contribution (identity counts as 0, so a
+// row leaving the identity contributes its full value).
+func foldAccCell(op *agg.Op, cell *uint64, v float64) (bool, float64, float64) {
 	for {
 		oldBits := loadU64(cell)
 		old := fromBits(oldBits)
 		next := op.Fold(old, v)
 		if next == old {
-			return false, 0
+			return false, 0, 0
 		}
 		if casU64(cell, oldBits, toBits(next)) {
-			return true, magnitude(op, old, next, v)
+			signed := next - old
+			if old == op.Identity() {
+				signed = next
+			}
+			return true, magnitude(op, old, next, v), signed
 		}
 	}
 }

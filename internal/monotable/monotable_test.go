@@ -35,8 +35,8 @@ func TestFoldDrainCycle(t *testing.T) {
 			if _, ok := tb.Drain(3); ok {
 				t.Error("double drain must not see the delta again")
 			}
-			if imp, change := tb.FoldAcc(3, v); !imp || change != 4 {
-				t.Errorf("acc change = %v,%v", imp, change)
+			if imp, change, signed := tb.FoldAcc(3, v); !imp || change != 4 || signed != 4 {
+				t.Errorf("acc change = %v,%v,%v", imp, change, signed)
 			}
 			if got := tb.Acc(3); got != 4 {
 				t.Errorf("acc = %v", got)
@@ -55,14 +55,14 @@ func TestMinSemantics(t *testing.T) {
 			if !ok || v != 3 {
 				t.Fatalf("drain = %v", v)
 			}
-			if imp, _ := tb.FoldAcc(1, 3); !imp {
-				t.Error("first acc fold should improve")
+			if imp, _, signed := tb.FoldAcc(1, 3); !imp || signed != 3 {
+				t.Errorf("first acc fold should improve with Σacc delta 3, got %v,%v", imp, signed)
 			}
-			if imp, c := tb.FoldAcc(1, 9); imp || c != 0 {
+			if imp, c, signed := tb.FoldAcc(1, 9); imp || c != 0 || signed != 0 {
 				t.Error("worse value should not improve acc")
 			}
-			if _, c := tb.FoldAcc(1, 1); c != 2 {
-				t.Errorf("improvement magnitude = %v, want 2", c)
+			if _, c, signed := tb.FoldAcc(1, 1); c != 2 || signed != -2 {
+				t.Errorf("improvement magnitude = %v (Σacc delta %v), want 2, -2", c, signed)
 			}
 			if tb.Acc(1) != 1 {
 				t.Errorf("acc = %v", tb.Acc(1))
@@ -244,14 +244,56 @@ func TestQuickDrainNeverDuplicates(t *testing.T) {
 	}
 }
 
+// TestQuickAccDeltaTracksRange: summing FoldAcc's signed deltas must
+// equal a full Range scan of the accumulation column — the invariant
+// that lets the runtime's termination stats drop their O(n) scan.
+func TestQuickAccDeltaTracksRange(t *testing.T) {
+	for _, kind := range []agg.Kind{agg.Min, agg.Max, agg.Sum} {
+		op := agg.ByKind(kind)
+		f := func(keys []uint8, vals []float64) bool {
+			for name, tb := range tables(op, 256) {
+				running := 0.0
+				for i, k := range keys {
+					if i >= len(vals) {
+						break
+					}
+					v := vals[i]
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						continue
+					}
+					// The identity only holds without float overflow (at
+					// ~1e308 a sum or signed difference saturates to ±Inf);
+					// fold the generated magnitude back into a sane range.
+					if math.Abs(v) > 1e100 {
+						v = math.Mod(v, 1e100)
+					}
+					_, _, signed := tb.FoldAcc(int64(k), v)
+					running += signed
+				}
+				scanned := 0.0
+				tb.Range(func(_ int64, v float64) bool { scanned += v; return true })
+				if math.Abs(running-scanned) > 1e-9*(1+math.Abs(scanned)) {
+					t.Errorf("%s/%v: running Σacc %v, scanned %v", name, kind, running, scanned)
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
 func TestMagnitudeFromIdentity(t *testing.T) {
 	tb := NewDense(agg.ByKind(agg.Min), 4, 1, 0)
-	// First fold from +inf: improved with magnitude |v|, not inf.
-	if imp, c := tb.FoldAcc(0, 5); !imp || c != 5 {
-		t.Errorf("identity-jump = %v,%v", imp, c)
+	// First fold from +inf: improved with magnitude |v|, not inf; the
+	// Σacc contribution of a newborn row is its full value.
+	if imp, c, signed := tb.FoldAcc(0, 5); !imp || c != 5 || signed != 5 {
+		t.Errorf("identity-jump = %v,%v,%v", imp, c, signed)
 	}
 	// Identity-jump to 0 must still report improvement (SSSP source).
-	if imp, c := tb.FoldAcc(1, 0); !imp || c != 0 {
-		t.Errorf("identity-jump-to-zero = %v,%v", imp, c)
+	if imp, c, signed := tb.FoldAcc(1, 0); !imp || c != 0 || signed != 0 {
+		t.Errorf("identity-jump-to-zero = %v,%v,%v", imp, c, signed)
 	}
 }

@@ -57,8 +57,9 @@ func (w *worker) scanCompute() int {
 		if w.holdLowPriority(d.key, d.val) {
 			continue
 		}
-		improved, change := w.table.FoldAcc(d.key, d.val)
+		improved, change, signed := w.table.FoldAcc(d.key, d.val)
 		w.accDelta += change
+		w.accSum += signed
 		if !w.shouldPropagate(improved, d.val) {
 			continue
 		}

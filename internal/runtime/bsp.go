@@ -68,8 +68,9 @@ func (w *worker) mraCompute() {
 		if ordered {
 			w.refresh(&d)
 		}
-		improved, change := w.table.FoldAcc(d.key, d.val)
+		improved, change, signed := w.table.FoldAcc(d.key, d.val)
 		w.accDelta += change
+		w.accSum += signed
 		if !w.shouldPropagate(improved, d.val) {
 			continue
 		}
@@ -186,9 +187,14 @@ func (w *worker) naiveCompute() {
 // new key with value 0 — a shortest-path source, say — changes the
 // result without moving the L1 distance). It then installs next.
 func (w *worker) naiveFinish() (float64, bool) {
+	// next's accumulation column starts from scratch each round, so the
+	// signed FoldAcc deltas sum to its whole Σacc — which becomes the
+	// worker's running accSum when next is installed below.
+	nextSum := 0.0
 	w.next.ScanDirty(func(k int64) {
 		if v, ok := w.next.Drain(k); ok {
-			w.next.FoldAcc(k, v)
+			_, _, signed := w.next.FoldAcc(k, v)
+			nextSum += signed
 		}
 	})
 	diff := 0.0
@@ -214,6 +220,7 @@ func (w *worker) naiveFinish() (float64, bool) {
 		return true
 	})
 	w.table = w.next
+	w.accSum = nextSum
 	return diff, changed
 }
 

@@ -40,6 +40,7 @@ func (m *master) bcast(msg transport.Message) {
 			_ = m.conn.Send(j, msg)
 			continue
 		}
+		var bo backoff
 		for {
 			ok, err := try.TrySend(j, msg)
 			if ok || err != nil {
@@ -51,8 +52,9 @@ func (m *master) bcast(msg transport.Message) {
 					return
 				}
 				m.pending = append(m.pending, in)
+				bo.reset()
 			default:
-				time.Sleep(20 * time.Microsecond)
+				bo.wait()
 			}
 		}
 	}

@@ -1,0 +1,36 @@
+package runtime
+
+import (
+	"testing"
+
+	"powerlog/internal/agg"
+	"powerlog/internal/transport"
+)
+
+// BenchmarkOutBuf measures the sender-side combiner's steady-state
+// fill→drain cycle: 512 distinct keys each folded twice, then one flush.
+// This is the per-update cost every emitted delta pays before the wire.
+func BenchmarkOutBuf(b *testing.B) {
+	for _, bn := range []struct {
+		name string
+		op   *agg.Op
+	}{{"sum", agg.ByKind(agg.Sum)}, {"min", agg.ByKind(agg.Min)}} {
+		b.Run(bn.name, func(b *testing.B) {
+			buf := newOutBuf(bn.op)
+			const keys = 512
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := int64(0); k < keys; k++ {
+					buf.add(k*7, float64(k))
+					buf.add(k*7, 1.0)
+				}
+				kvs := buf.take()
+				if len(kvs) != keys {
+					b.Fatalf("drained %d keys, want %d", len(kvs), keys)
+				}
+				transport.PutBatch(kvs)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	stdruntime "runtime"
 	"time"
 
 	"powerlog/internal/agg"
@@ -50,6 +51,7 @@ type worker struct {
 	sent, recv int64
 	flushes    int64
 	accDelta   float64 // Σ|acc change| since last stats reply
+	accSum     float64 // running Σacc over the shard (identity rows count 0)
 	passes     int64   // async compute-loop iterations
 	rounds     int
 
@@ -68,6 +70,31 @@ type outMsg struct {
 	to int
 	m  transport.Message
 }
+
+// backoff is an escalating wait for back-pressure loops: a few pure
+// spins (the common case resolves within microseconds), then scheduler
+// yields, then sleeps that grow to a 200µs ceiling — so a stalled
+// destination costs neither latency in the common case nor a burned
+// core in the worst one.
+type backoff struct{ n int }
+
+func (b *backoff) wait() {
+	b.n++
+	switch {
+	case b.n <= 4:
+		// Spin: the inbox often drains within a few hundred ns.
+	case b.n <= 16:
+		stdruntime.Gosched()
+	default:
+		d := time.Duration(b.n-16) * 10 * time.Microsecond
+		if d > 200*time.Microsecond {
+			d = 200 * time.Microsecond
+		}
+		time.Sleep(d)
+	}
+}
+
+func (b *backoff) reset() { b.n = 0 }
 
 func newWorker(id int, cfg Config, plan *compiler.Plan, conn transport.Conn) *worker {
 	w := &worker{
@@ -129,7 +156,10 @@ func (w *worker) commLoop() {
 			return
 		}
 		// Avoid head-of-line blocking: while the destination is
-		// back-pressured, keep the control lane moving.
+		// back-pressured, keep the control lane moving. The wait
+		// escalates (spin → yield → sleep) so a long-stalled destination
+		// doesn't pin this goroutine to a core.
+		var bo backoff
 		for {
 			ok, err := try.TrySend(om.to, om.m)
 			if ok || err != nil {
@@ -143,8 +173,9 @@ func (w *worker) commLoop() {
 					return
 				}
 				sendCtl(ctl)
+				bo.reset() // control progress means the net is moving
 			default:
-				time.Sleep(20 * time.Microsecond)
+				bo.wait()
 			}
 		}
 	}
@@ -221,6 +252,8 @@ func (w *worker) handle(m transport.Message) {
 		}
 		w.recv += int64(len(m.KVs))
 		w.inWindow += int64(len(m.KVs))
+		// The batch is spent; recycle it (see the contract in transport).
+		transport.PutBatch(m.KVs)
 	case transport.EndPhase:
 		w.endPhases++
 	case transport.Continue:
@@ -237,16 +270,13 @@ func (w *worker) replyStats(round int) {
 	idle := !w.table.HasDirty() && !w.lowPrioHeld && w.buffersEmpty()
 	// The paper's termination thread evaluates the aggregation of the
 	// Accumulation column; the master diffs consecutive global values.
-	accSum := 0.0
-	w.table.Range(func(_ int64, v float64) bool {
-		accSum += v
-		return true
-	})
+	// accSum is maintained incrementally from FoldAcc's signed deltas,
+	// so answering a poll is O(1) instead of an O(n) shard scan.
 	st := transport.Stats{
 		Sent:     w.sent,
 		Recv:     w.recv,
 		AccDelta: w.accDelta,
-		AccSum:   accSum,
+		AccSum:   w.accSum,
 		Passes:   w.passes,
 		Idle:     idle,
 		Dirty:    w.table.HasDirty() || w.lowPrioHeld || !w.buffersEmpty(),
@@ -286,6 +316,7 @@ func (w *worker) restore(rows []ckpt.Row) {
 		}
 		if r.Acc != id {
 			w.table.SetAcc(r.Key, r.Acc)
+			w.accSum += r.Acc // keep the running Σacc in step with SetAcc
 		}
 		if r.Inter != id {
 			w.table.FoldDelta(r.Key, r.Inter)
@@ -341,40 +372,93 @@ func (w *worker) drainInbox() bool {
 }
 
 // outBuf is a per-destination buffer that folds same-key updates with
-// the program's aggregate, in arrival order of first touch.
+// the program's aggregate, in arrival order of first touch. It is an
+// open-addressed flat combiner: a power-of-two slot table of indexes
+// into dense key/value arrays, linear probing, no tombstones (keys are
+// never removed individually — a drain resets the whole table). The
+// dense arrays and the slot table are reused across flushes and the
+// drain target comes from the transport batch pool, so the steady-state
+// fill→drain cycle allocates nothing.
 type outBuf struct {
 	op    *agg.Op
-	vals  map[int64]float64
-	order []int64
+	keys  []int64   // first-touch order
+	vals  []float64 // parallel to keys
+	slots []int32   // hash table: index+1 into keys, 0 = empty
+	mask  uint64
 }
 
+// outBufInitSlots is the initial slot-table size; it grows to track the
+// largest batch the destination ever needed and then stays put.
+const outBufInitSlots = 256
+
 func newOutBuf(op *agg.Op) *outBuf {
-	return &outBuf{op: op, vals: map[int64]float64{}}
+	return &outBuf{
+		op:    op,
+		slots: make([]int32, outBufInitSlots),
+		mask:  outBufInitSlots - 1,
+	}
+}
+
+// hashKey mixes the key bits (Fibonacci multiplier + xor-fold) so dense
+// vertex ids and src<<32|dst pair keys both spread across the table.
+func hashKey(k int64) uint64 {
+	x := uint64(k) * 0x9E3779B97F4A7C15
+	return x ^ (x >> 32)
 }
 
 // add folds v into the buffered update for key.
 func (b *outBuf) add(key int64, v float64) {
-	if cur, ok := b.vals[key]; ok {
-		b.vals[key] = b.op.Fold(cur, v)
-		return
+	h := hashKey(key) & b.mask
+	for {
+		idx := b.slots[h]
+		if idx == 0 {
+			b.keys = append(b.keys, key)
+			b.vals = append(b.vals, v)
+			b.slots[h] = int32(len(b.keys))
+			// Grow at 3/4 load so probe chains stay short.
+			if uint64(len(b.keys)) >= b.mask/4*3 {
+				b.grow()
+			}
+			return
+		}
+		if b.keys[idx-1] == key {
+			b.vals[idx-1] = b.op.Fold(b.vals[idx-1], v)
+			return
+		}
+		h = (h + 1) & b.mask
 	}
-	b.vals[key] = v
-	b.order = append(b.order, key)
 }
 
-func (b *outBuf) len() int { return len(b.order) }
+// grow doubles the slot table and reindexes the dense entries (cheap:
+// the keys are already compact, no entry moves).
+func (b *outBuf) grow() {
+	b.slots = make([]int32, 2*len(b.slots))
+	b.mask = uint64(len(b.slots) - 1)
+	for i, k := range b.keys {
+		h := hashKey(k) & b.mask
+		for b.slots[h] != 0 {
+			h = (h + 1) & b.mask
+		}
+		b.slots[h] = int32(i + 1)
+	}
+}
 
-// take drains the buffer into a KV slice (first-touch order).
+func (b *outBuf) len() int { return len(b.keys) }
+
+// take drains the buffer into a pooled KV batch (first-touch order).
+// Ownership of the batch passes to the caller, who hands it to Send
+// under the transport recycle contract.
 func (b *outBuf) take() []transport.KV {
-	if len(b.order) == 0 {
+	if len(b.keys) == 0 {
 		return nil
 	}
-	kvs := make([]transport.KV, len(b.order))
-	for i, k := range b.order {
-		kvs[i] = transport.KV{K: k, V: b.vals[k]}
+	kvs := transport.GetBatch(len(b.keys))
+	for i, k := range b.keys {
+		kvs = append(kvs, transport.KV{K: k, V: b.vals[i]})
 	}
-	b.vals = map[int64]float64{}
-	b.order = b.order[:0]
+	b.keys = b.keys[:0]
+	b.vals = b.vals[:0]
+	clear(b.slots)
 	return kvs
 }
 

@@ -1,0 +1,54 @@
+package transport
+
+import "sync"
+
+// KV batches are pooled so the steady-state flush→send→receive→fold
+// cycle allocates nothing. The recycle contract:
+//
+//   - A sender obtains a batch with GetBatch, fills it, and hands it to
+//     Send inside a Data message. Send takes ownership of the slice: the
+//     channel transport passes it by reference to the receiver, the TCP
+//     transport recycles it immediately after encoding it onto the wire
+//     (it may also reorder the slice in place while encoding).
+//   - A receiver that has finished folding a Data message's KVs returns
+//     them with PutBatch. The TCP read loop decodes into pooled batches,
+//     so both transports hand receivers poolable slices.
+//   - A batch must not be touched after PutBatch; anyone who wants to
+//     keep KVs past the fold must copy them out first.
+//
+// Control messages (nil or caller-owned KVs) never have to participate:
+// PutBatch on a foreign slice merely donates it to the pool, and a
+// received batch that is never recycled is reclaimed by the GC.
+//
+// Two pools cooperate so that neither GetBatch nor PutBatch allocates in
+// steady state: batchPool holds *[]KV boxes with live backing arrays,
+// boxPool holds spent boxes whose slice was handed out. Without the box
+// pool every PutBatch would heap-allocate a fresh 3-word slice header to
+// wrap the value for sync.Pool.
+var (
+	batchPool = sync.Pool{New: func() any { s := make([]KV, 0, 512); return &s }}
+	boxPool   = sync.Pool{New: func() any { return new([]KV) }}
+)
+
+// GetBatch returns an empty KV batch with capacity at least n.
+func GetBatch(n int) []KV {
+	box := batchPool.Get().(*[]KV)
+	s := (*box)[:0]
+	*box = nil
+	boxPool.Put(box)
+	if cap(s) < n {
+		s = make([]KV, 0, n)
+	}
+	return s
+}
+
+// PutBatch recycles a batch obtained from GetBatch (or donates any
+// KV slice to the pool). The caller must not use kvs afterwards.
+func PutBatch(kvs []KV) {
+	if cap(kvs) == 0 {
+		return
+	}
+	box := boxPool.Get().(*[]KV)
+	*box = kvs[:0]
+	batchPool.Put(box)
+}

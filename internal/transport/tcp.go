@@ -1,25 +1,28 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 )
 
-// TCPConn is a network endpoint over TCP with gob framing — the
-// multi-process stand-in for the original system's OpenMPI layer. Every
-// endpoint listens on its own address and lazily dials peers; one TCP
-// connection per (sender, receiver) pair preserves pairwise ordering.
+// TCPConn is a network endpoint over TCP with the length-prefixed binary
+// codec of codec.go — the multi-process stand-in for the original
+// system's OpenMPI layer. Every endpoint listens on its own address and
+// lazily dials peers; one TCP connection per (sender, receiver) pair
+// preserves pairwise ordering.
 type TCPConn struct {
 	id      int
 	workers int
-	addrs   []string // len workers+1; index = endpoint id
 
 	listener net.Listener
 	inbox    chan Message
 
 	mu       sync.Mutex
+	addrs    []string // len workers+1; index = endpoint id
 	outs     map[int]*outConn
 	accepted []net.Conn
 	done     chan struct{}
@@ -28,10 +31,17 @@ type TCPConn struct {
 	close    sync.Once
 }
 
+// outConn is one dialled peer link. Dialling runs under the per-peer
+// once — never under the endpoint-wide mutex — so a slow or unreachable
+// peer stalls only its own senders, not sends to every destination.
 type outConn struct {
+	addr string
+	once sync.Once
+	err  error
+
 	mu  sync.Mutex
 	c   net.Conn
-	enc *gob.Encoder
+	buf []byte // reusable frame-encode buffer, guarded by mu
 }
 
 // NewTCPEndpoint starts endpoint id of a TCP network whose endpoints live
@@ -103,47 +113,83 @@ func (t *TCPConn) acceptLoop() {
 func (t *TCPConn) readLoop(c net.Conn) {
 	defer t.wg.Done()
 	defer c.Close()
-	dec := gob.NewDecoder(c)
+	r := bufio.NewReaderSize(c, 64<<10)
+	var payload []byte
 	for {
-		var m Message
-		if err := dec.Decode(&m); err != nil {
+		plen, err := binary.ReadUvarint(r)
+		if err != nil || plen > maxFrame {
+			return
+		}
+		if uint64(cap(payload)) < plen {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return
+		}
+		m, err := decodePayload(payload)
+		if err != nil {
 			return
 		}
 		select {
 		case t.inbox <- m:
 		case <-t.done:
+			if m.Kind == Data {
+				PutBatch(m.KVs)
+			}
 			return
 		}
 	}
 }
 
-// Send implements Conn.
+// Send implements Conn. Data batches are recycled into the batch pool
+// after they are encoded onto the wire (see the contract in batch.go).
 func (t *TCPConn) Send(to int, m Message) error {
 	m.From = t.id
-	oc, err := t.dial(to)
+	oc, err := t.peer(to)
 	if err != nil {
 		return err
 	}
 	oc.mu.Lock()
-	defer oc.mu.Unlock()
-	return oc.enc.Encode(m)
+	buf, start := appendFrame(oc.buf, &m)
+	oc.buf = buf
+	_, err = oc.c.Write(buf[start:])
+	oc.mu.Unlock()
+	if m.Kind == Data {
+		PutBatch(m.KVs)
+	}
+	return err
 }
 
-func (t *TCPConn) dial(to int) (*outConn, error) {
+// peer returns the link to endpoint `to`, dialling it on first use. The
+// endpoint-wide mutex covers only the map lookup; the dial itself runs
+// under the link's own once, so concurrent sends to other (responsive)
+// peers proceed while one dial blocks.
+func (t *TCPConn) peer(to int) (*outConn, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if oc, ok := t.outs[to]; ok {
-		return oc, nil
+	oc, ok := t.outs[to]
+	if !ok {
+		if to < 0 || to >= len(t.addrs) {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("transport: no endpoint %d", to)
+		}
+		oc = &outConn{addr: t.addrs[to]}
+		t.outs[to] = oc
 	}
-	if to < 0 || to >= len(t.addrs) {
-		return nil, fmt.Errorf("transport: no endpoint %d", to)
+	t.mu.Unlock()
+	oc.once.Do(func() {
+		c, err := net.Dial("tcp", oc.addr)
+		if err != nil {
+			oc.err = fmt.Errorf("transport: dial endpoint %d at %s: %w", to, oc.addr, err)
+			return
+		}
+		oc.mu.Lock()
+		oc.c = c
+		oc.mu.Unlock()
+	})
+	if oc.err != nil {
+		return nil, oc.err
 	}
-	c, err := net.Dial("tcp", t.addrs[to])
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial endpoint %d at %s: %w", to, t.addrs[to], err)
-	}
-	oc := &outConn{c: c, enc: gob.NewEncoder(c)}
-	t.outs[to] = oc
 	return oc, nil
 }
 
@@ -153,13 +199,25 @@ func (t *TCPConn) Close() error {
 		close(t.done)
 		t.cerr = t.listener.Close()
 		t.mu.Lock()
+		outs := make([]*outConn, 0, len(t.outs))
 		for _, oc := range t.outs {
-			oc.c.Close()
+			outs = append(outs, oc)
 		}
-		for _, c := range t.accepted {
+		accepted := t.accepted
+		t.mu.Unlock()
+		for _, oc := range outs {
+			// Waits for any in-flight dial, and pins the link dead so a
+			// racing Send cannot dial a fresh connection after Close.
+			oc.once.Do(func() { oc.err = net.ErrClosed })
+			oc.mu.Lock()
+			if oc.c != nil {
+				oc.c.Close()
+			}
+			oc.mu.Unlock()
+		}
+		for _, c := range accepted {
 			c.Close()
 		}
-		t.mu.Unlock()
 		t.wg.Wait()
 		close(t.inbox)
 	})

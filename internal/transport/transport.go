@@ -1,9 +1,12 @@
 // Package transport carries messages between PowerLog's distributed
 // workers and the master. It replaces the OpenMPI layer of the original
 // system with two interchangeable implementations: an in-process channel
-// network (used by tests and benches) and a TCP network on net+gob (used
-// by the multi-process cluster example). The engine is written against
-// the Conn interface only.
+// network (used by tests and benches) and a TCP network on net plus a
+// hand-rolled length-prefixed binary codec (used by the multi-process
+// cluster example). The engine is written against the Conn interface
+// only. Data messages carry pooled KV batches under the recycle contract
+// documented in batch.go, so the steady-state update path allocates
+// nothing.
 package transport
 
 import "fmt"
@@ -69,8 +72,11 @@ type Conn interface {
 	ID() int
 	// Workers is the number of worker endpoints.
 	Workers() int
-	// Send delivers m to endpoint `to`. The message (including the KV
-	// slice) must not be modified after Send.
+	// Send delivers m to endpoint `to`. Send takes ownership of the
+	// message: the caller must not touch it (including the KV slice)
+	// afterwards. A Data batch is recycled into the batch pool by
+	// whoever sees it last — the receiver after folding it, or the
+	// transport itself once it is encoded onto a wire.
 	Send(to int, m Message) error
 	// Inbox is the endpoint's receive stream. It is closed when the
 	// network shuts down.
