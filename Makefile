@@ -1,8 +1,9 @@
-# Tier-1 verification for this repo: `make check` is what CI and the
-# ROADMAP's verify step run. The race pass covers the packages on the
-# zero-allocation message path (combiner → pooled batches → codec →
-# MonoTable fold), where a recycle-contract violation would surface as a
-# data race.
+# Tier-1 verification for this repo: `make check` is what CI
+# (.github/workflows/ci.yml) and the ROADMAP's verify step run. The race
+# pass covers the packages on the zero-allocation message path (combiner
+# → pooled batches → codec → MonoTable fold), where a recycle-contract
+# violation would surface as a data race. `go test ./...` includes
+# internal/lint, a repo-local static check (builtin-shadowing guard).
 .PHONY: check build vet test race bench
 
 check: vet build test race

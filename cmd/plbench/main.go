@@ -18,16 +18,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: table1, table2, fig1, fig9, fig10, fig11, or all")
+	exp := flag.String("exp", "", "experiment id: table1, table2, fig1, fig9, fig10, fig11, ablation, ssp, or all")
 	workers := flag.Int("workers", 4, "worker shards per engine run")
 	maxWall := flag.Duration("maxwall", 5*time.Minute, "per-run wall-clock cap")
+	staleness := flag.Int("staleness", 0, "MRA+SSP superstep bound (0 = runtime default)")
 	flag.Parse()
 
 	if *exp == "" {
 		fmt.Fprintf(os.Stderr, "usage: plbench -exp {%v|all}\n", bench.Experiments)
 		os.Exit(2)
 	}
-	cfg := bench.RunConfig{Workers: *workers, MaxWall: *maxWall}
+	cfg := bench.RunConfig{Workers: *workers, MaxWall: *maxWall, Staleness: *staleness}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = bench.Experiments

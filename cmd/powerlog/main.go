@@ -30,13 +30,14 @@ var modeNames = map[string]powerlog.Mode{
 	"async":      powerlog.ModeAsync,
 	"sync-async": powerlog.ModeSyncAsync,
 	"aap":        powerlog.ModeAAP,
+	"ssp":        powerlog.ModeSSP,
 }
 
 func main() {
 	graphPath := flag.String("graph", "", "edge-list TSV (src dst [weight]) registered under the program's join predicate")
 	genName := flag.String("gen", "", "synthetic dataset name instead of -graph (Flickr, LiveJ, Orkut, Web, Wiki, Arabic)")
 	builtin := flag.String("builtin", "", "run a catalogue program (SSSP, CC, PageRank, ...) instead of a file")
-	modeName := flag.String("mode", "sync-async", "engine: naive, sync, async, sync-async, aap")
+	modeName := flag.String("mode", "sync-async", "engine: naive, sync, async, sync-async, aap, ssp")
 	workers := flag.Int("workers", 4, "worker shards")
 	weighted := flag.Bool("weighted", true, "interpret the third TSV column as edge weight")
 	top := flag.Int("top", 10, "print the top-N result rows")

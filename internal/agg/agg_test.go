@@ -75,14 +75,14 @@ func TestInverseRecoversX1(t *testing.T) {
 		if got := sum.Fold(x0, sum.Inverse(x1, x0)); math.Abs(got-x1) > 1e-6*math.Max(1, math.Abs(x1)) {
 			return false
 		}
-		min := ByKind(Min)
+		minOp := ByKind(Min)
 		lo := math.Min(x0, x1)
-		if got := min.Fold(x0, min.Inverse(lo, x0)); got != lo {
+		if got := minOp.Fold(x0, minOp.Inverse(lo, x0)); got != lo {
 			return false
 		}
-		max := ByKind(Max)
+		maxOp := ByKind(Max)
 		hi := math.Max(x0, x1)
-		if got := max.Fold(x0, max.Inverse(hi, x0)); got != hi {
+		if got := maxOp.Fold(x0, maxOp.Inverse(hi, x0)); got != hi {
 			return false
 		}
 		return true

@@ -158,6 +158,9 @@ type RunConfig struct {
 	// OrderedScan turns on the delta-stepping-style best-first schedule
 	// for selective aggregates (the ablation experiment sweeps it).
 	OrderedScan bool
+
+	// Staleness is the MRASSP superstep bound (0 = runtime default).
+	Staleness int
 }
 
 func (c RunConfig) orDefaults() RunConfig {
@@ -183,6 +186,16 @@ type Measurement struct {
 	Rounds                int
 	Messages              int64
 	Converged             bool
+
+	// Flushes counts data messages (batches); Messages/Flushes is the
+	// realised mean batch size — the quantity the flush policies steer.
+	Flushes int64
+	// StragglerWait sums the time workers spent blocked at the SSP
+	// staleness gate (zero for other modes).
+	StragglerWait time.Duration
+	// BetaFinal is the mean over workers of the last sampled adaptive
+	// buffer size β (unified mode with combining aggregates; else 0).
+	BetaFinal float64
 }
 
 // RunMode times one engine mode on a prepared workload.
@@ -196,6 +209,7 @@ func RunMode(w *Workload, mode runtime.Mode, cfg RunConfig) (Measurement, error)
 		MaxWall:           cfg.MaxWall,
 		PriorityThreshold: cfg.PriorityThreshold,
 		OrderedScan:       cfg.OrderedScan,
+		Staleness:         cfg.Staleness,
 	}
 	if !cfg.PerfectNetwork {
 		rc.Network = runtime.NetworkProfile{KVsPerSecond: 10e6}
@@ -204,7 +218,7 @@ func RunMode(w *Workload, mode runtime.Mode, cfg RunConfig) (Measurement, error)
 	if err != nil {
 		return Measurement{}, err
 	}
-	return Measurement{
+	m := Measurement{
 		Algo:      w.Algo,
 		Dataset:   w.Dataset.Name,
 		Series:    mode.String(),
@@ -212,5 +226,18 @@ func RunMode(w *Workload, mode runtime.Mode, cfg RunConfig) (Measurement, error)
 		Rounds:    res.Rounds,
 		Messages:  res.MessagesSent,
 		Converged: res.Converged,
-	}, nil
+		Flushes:   res.Flushes,
+	}
+	betaSum, betaN := 0.0, 0
+	for _, ws := range res.Workers {
+		m.StragglerWait += ws.StragglerWait
+		if len(ws.Beta) > 0 {
+			betaSum += ws.Beta[len(ws.Beta)-1]
+			betaN++
+		}
+	}
+	if betaN > 0 {
+		m.BetaFinal = betaSum / float64(betaN)
+	}
+	return m, nil
 }

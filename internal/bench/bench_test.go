@@ -210,3 +210,58 @@ func TestExtraWorkloadSpecs(t *testing.T) {
 		}
 	}
 }
+
+func TestRunModeSSPTiny(t *testing.T) {
+	d := tinyDataset()
+	for _, algo := range []string{"SSSP", "PageRank"} {
+		wl, err := Prepare(algo, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fastCfg()
+		cfg.Staleness = 2
+		m, err := RunMode(wl, runtime.MRASSP, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !m.Converged {
+			t.Errorf("%s under SSP did not converge", algo)
+		}
+		if m.Flushes <= 0 {
+			t.Errorf("%s: no flushes recorded", algo)
+		}
+		if m.Series != "MRA+SSP" {
+			t.Errorf("series = %q", m.Series)
+		}
+	}
+}
+
+func TestBetaFinalSurfaced(t *testing.T) {
+	// The unified mode on a combining aggregate must surface a β value;
+	// a selective one must not.
+	d := tinyDataset()
+	pr, err := Prepare("PageRank", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg()
+	cfg.Tau = 100 * time.Microsecond
+	m, err := RunMode(pr, runtime.MRASyncAsync, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BetaFinal <= 0 {
+		t.Error("no β surfaced for adaptive PageRank run")
+	}
+	ss, err := Prepare("SSSP", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = RunMode(ss, runtime.MRASyncAsync, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BetaFinal != 0 {
+		t.Errorf("selective run surfaced β = %v", m.BetaFinal)
+	}
+}

@@ -17,7 +17,7 @@ import (
 // paper figure: it sweeps this implementation's own design knobs
 // (DESIGN.md §5) — the delta-stepping-style ordered scan and the §5.4
 // priority threshold.
-var Experiments = []string{"table1", "table2", "fig1", "fig9", "fig10", "fig11", "ablation", "extra"}
+var Experiments = []string{"table1", "table2", "fig1", "fig9", "fig10", "fig11", "ablation", "ssp", "extra"}
 
 // RunExperiment dispatches by experiment id and writes the rows to w.
 func RunExperiment(id string, w io.Writer, cfg RunConfig) error {
@@ -40,6 +40,9 @@ func RunExperiment(id string, w io.Writer, cfg RunConfig) error {
 		return err
 	case "ablation":
 		_, err := Ablation(w, cfg)
+		return err
+	case "ssp":
+		_, err := SSP(w, cfg)
 		return err
 	case "extra":
 		_, err := Extra(w, cfg)
@@ -342,6 +345,72 @@ func Ablation(w io.Writer, cfg RunConfig) ([]Measurement, error) {
 		m.Series = fmt.Sprintf("threshold=%g", thr)
 		out = append(out, m)
 		fmt.Fprintf(w, "  PageRank LiveJ %-16s %8.3fs msgs=%d\n", m.Series, m.Seconds, m.Messages)
+	}
+	return out, nil
+}
+
+// SSP places the stale-synchronous-parallel mode among the five existing
+// engines on SSSP and PageRank, then sweeps its staleness bound. Beyond
+// wall time it reports the quantities the policy layers steer: realised
+// batch sizes (messages per flush) and the time workers spent blocked at
+// the staleness gate.
+func SSP(w io.Writer, cfg RunConfig) ([]Measurement, error) {
+	fmt.Fprintf(w, "SSP: stale synchronous parallel vs the existing engines\n")
+	var out []Measurement
+	modes := []runtime.Mode{runtime.NaiveSync, runtime.MRASync, runtime.MRAAsync,
+		runtime.MRAAAP, runtime.MRASyncAsync, runtime.MRASSP}
+	report := func(algo, ds string, m Measurement) {
+		batch := 0.0
+		if m.Flushes > 0 {
+			batch = float64(m.Messages) / float64(m.Flushes)
+		}
+		extra := ""
+		if m.BetaFinal > 0 {
+			extra = fmt.Sprintf(" β≈%.0f", m.BetaFinal)
+		}
+		fmt.Fprintf(w, "  %-9s %-6s %-16s %8.3fs  rounds=%-5d batch=%7.1f straggler=%v%s\n",
+			algo, ds, m.Series, m.Seconds, m.Rounds, batch, m.StragglerWait, extra)
+	}
+	for _, algo := range []string{"SSSP", "PageRank"} {
+		for _, ds := range []string{"LiveJ", "Wiki"} {
+			d, err := gen.DatasetByName(ds)
+			if err != nil {
+				return nil, err
+			}
+			wl, err := Prepare(algo, d)
+			if err != nil {
+				return nil, err
+			}
+			for _, mode := range modes {
+				m, err := RunMode(wl, mode, cfg)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, m)
+				report(algo, ds, m)
+			}
+		}
+	}
+	// Staleness sweep: lockstep-adjacent through loose.
+	fmt.Fprintf(w, "  staleness sweep (SSSP on LiveJ):\n")
+	d, err := gen.DatasetByName("LiveJ")
+	if err != nil {
+		return nil, err
+	}
+	wl, err := Prepare("SSSP", d)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range []int{1, 2, 4, 8} {
+		c := cfg
+		c.Staleness = s
+		m, err := RunMode(wl, runtime.MRASSP, c)
+		if err != nil {
+			return nil, err
+		}
+		m.Series = fmt.Sprintf("staleness=%d", s)
+		out = append(out, m)
+		report("SSSP", "LiveJ", m)
 	}
 	return out, nil
 }

@@ -142,13 +142,13 @@ func (g *Graph) OutDegrees() []float64 {
 
 // MaxDegree returns the largest out-degree (0 for an empty graph).
 func (g *Graph) MaxDegree() int {
-	max := 0
+	most := 0
 	for v := int32(0); v < g.n; v++ {
-		if d := g.OutDegree(v); d > max {
-			max = d
+		if d := g.OutDegree(v); d > most {
+			most = d
 		}
 	}
-	return max
+	return most
 }
 
 // Partition maps vertex v to one of k workers. PowerLog uses modulo hash

@@ -1,0 +1,159 @@
+// Package lint holds repo-local static checks that run as ordinary tests
+// under `make check`, so they gate CI without external tooling.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// predeclared is every identifier a local declaration must not shadow.
+// Shadowing min/max/clear compiles silently on Go ≥1.21 but breaks any
+// later use of the builtin in the same scope — exactly the bug class the
+// adaptive-β code once hit (β clamp locals named max and floor hid the
+// builtins; see flush.go's betaFloor/betaCeil fields).
+var predeclared = map[string]bool{
+	"append": true, "cap": true, "clear": true, "close": true,
+	"complex": true, "copy": true, "delete": true, "imag": true,
+	"len": true, "make": true, "max": true, "min": true, "new": true,
+	"panic": true, "print": true, "println": true, "real": true,
+	"recover": true,
+}
+
+// TestNoBuiltinShadowing walks every .go file in the module and fails on
+// any declaration — :=, var/const spec, func param/result/receiver,
+// range or type-switch binding — whose name is a predeclared function.
+func TestNoBuiltinShadowing(t *testing.T) {
+	root := moduleRoot(t)
+	var bad []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != root || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return fmt.Errorf("parse %s: %w", path, perr)
+		}
+		for _, v := range shadowViolations(fset, file) {
+			rel, _ := filepath.Rel(root, v.pos.Filename)
+			bad = append(bad, fmt.Sprintf("%s:%d: declaration shadows builtin %q", rel, v.pos.Line, v.name))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bad {
+		t.Error(b)
+	}
+}
+
+type violation struct {
+	name string
+	pos  token.Position
+}
+
+// shadowViolations collects every declaration in file that reuses a
+// predeclared identifier.
+func shadowViolations(fset *token.FileSet, file *ast.File) []violation {
+	var out []violation
+	flag := func(id *ast.Ident) {
+		if id != nil && predeclared[id.Name] {
+			out = append(out, violation{id.Name, fset.Position(id.Pos())})
+		}
+	}
+	flagFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				flag(n)
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						flag(id)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				flag(id)
+			}
+		case *ast.FuncDecl:
+			// Methods live in the selector namespace and cannot shadow a
+			// builtin; only package-level function names can.
+			if n.Recv == nil {
+				flag(n.Name)
+			}
+			flagFields(n.Recv)
+			flagFields(n.Type.Params)
+			flagFields(n.Type.Results)
+		case *ast.FuncLit:
+			flagFields(n.Type.Params)
+			flagFields(n.Type.Results)
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if id, ok := n.Key.(*ast.Ident); ok {
+					flag(id)
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					flag(id)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			if a, ok := n.Assign.(*ast.AssignStmt); ok && a.Tok == token.DEFINE {
+				if id, ok := a.Lhs[0].(*ast.Ident); ok {
+					flag(id)
+				}
+			}
+		case *ast.TypeSpec:
+			flag(n.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// moduleRoot walks up from the package directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above package directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,131 @@
+package runtime
+
+import (
+	stdruntime "runtime"
+
+	"powerlog/internal/transport"
+)
+
+// BarrierPolicy implementations (§5.2): the synchronisation protocol
+// bracketing each pass of the unified compute loop.
+
+// bspBarrier runs bulk-synchronous supersteps: flush everything,
+// exchange EndPhase markers, report to the master, and wait for its
+// Continue/Stop verdict. With naive=true each superstep recomputes the
+// full result from the previous one (Equation 2); otherwise it is MRA
+// semi-naive evaluation (Equation 4) under a barrier.
+type bspBarrier struct {
+	naive bool
+}
+
+func (b *bspBarrier) setup(w *worker) {
+	if b.naive {
+		// The table being built this round; incoming Data always lands
+		// in the freshest next (created *before* reporting PhaseDone so
+		// that faster peers' next-round data cannot be stranded).
+		w.next = w.newTable()
+		w.apply = w.next
+	}
+}
+
+func (b *bspBarrier) beginPass(w *worker) bool {
+	w.rounds++
+	return false
+}
+
+func (b *bspBarrier) endPass(w *worker, _ bool) bool {
+	w.flushAll()
+	for j := 0; j < w.nw; j++ {
+		if j != w.id {
+			w.enqueue(j, transport.Message{Kind: transport.EndPhase})
+		}
+	}
+	w.awaitEndPhases()
+	if w.stopped {
+		return false
+	}
+	var stats transport.Stats
+	if b.naive {
+		diff, changed := w.naiveFinish()
+		stats.AccDelta = diff
+		stats.Dirty = changed
+		w.next = w.newTable()
+		w.apply = w.next
+	} else {
+		stats.AccDelta = w.accDelta
+		w.accDelta = 0
+		stats.Dirty = w.table.HasDirty()
+		if w.cfg.SnapshotDir != "" && w.cfg.SnapshotEvery > 0 && w.rounds%w.cfg.SnapshotEvery == 0 {
+			_ = w.snapshot() // fault tolerance is best-effort; the run itself must not fail
+		}
+	}
+	stats.Sent, stats.Recv = w.sent, w.recv
+	w.enqueue(transport.MasterID(w.nw), transport.Message{Kind: transport.PhaseDone, Stats: stats})
+	return w.awaitVerdict()
+}
+
+// freeRun is the barrier-free policy shared by MRAAsync, MRASyncAsync,
+// and MRAAAP: drain the inbox before each pass, flush per the mode's
+// policy after it, and idle briefly when nothing moved. Termination
+// comes from the master's periodic check (paper §5.3: async workers
+// have no global view, so the master polls stats and decides).
+type freeRun struct{}
+
+func (freeRun) setup(*worker) {}
+
+func (freeRun) beginPass(w *worker) bool { return w.drainInbox() }
+
+func (freeRun) endPass(w *worker, progressed bool) bool {
+	if progressed {
+		// Only productive passes count as effective iterations (the
+		// ε gating and the system-level cap both key off them).
+		w.passes++
+		// Yield between passes so the master's termination check (and
+		// the comm goroutines) are never starved by spinning compute.
+		stdruntime.Gosched()
+	}
+	w.timedFlush()
+	if progressed {
+		w.pol.sched.rearm()
+		return true
+	}
+	if w.pol.sched.release() {
+		// Nothing urgent left: release the low-priority cache (§5.4 —
+		// less important deltas are used when the worker would idle).
+		return true
+	}
+	w.flushAll()
+	w.idleWait()
+	return true
+}
+
+// awaitEndPhases blocks until EndPhase markers from all other workers
+// arrive (data sent before a marker is already applied by then, thanks
+// to per-pair ordering).
+func (w *worker) awaitEndPhases() {
+	need := w.nw - 1
+	for w.endPhases < need && !w.stopped {
+		m, ok := <-w.conn.Inbox()
+		if !ok {
+			w.stopped = true
+			return
+		}
+		w.handle(m)
+	}
+	w.endPhases -= need
+}
+
+// awaitVerdict blocks for the master's Continue/Stop and reports whether
+// to run another superstep.
+func (w *worker) awaitVerdict() bool {
+	for !w.verdictSet {
+		m, ok := <-w.conn.Inbox()
+		if !ok {
+			w.stopped = true
+			return false
+		}
+		w.handle(m)
+	}
+	w.verdictSet = false
+	return w.verdict == transport.Continue && !w.stopped
+}

@@ -1,10 +1,14 @@
 // Package runtime is PowerLog's distributed execution runtime (paper §5):
 // workers own MonoTable shards and exchange folded deltas through a
 // transport; a master runs the periodic termination check. One worker
-// codebase implements all evaluation modes — naive synchronous, MRA
-// synchronous (BSP), MRA asynchronous, the paper's unified sync-async
-// mode with adaptive message buffers (§5.3), and the AAP comparison mode
-// of §6.5.
+// codebase — a single unified compute loop — implements all evaluation
+// modes by plugging in per-mode policies (policy.go): a FlushPolicy for
+// message buffering (§5.3), a Scheduler for drain order and priority
+// holding (§5.4), and a BarrierPolicy for synchronisation (§5.2). The
+// registered modes are naive synchronous, MRA synchronous (BSP), MRA
+// asynchronous, the paper's unified sync-async mode with adaptive
+// message buffers, the AAP comparison mode of §6.5, and a stale
+// synchronous parallel (SSP) mode (ssp.go).
 package runtime
 
 import (
@@ -19,16 +23,18 @@ type Mode int
 // naive evaluation; MRASync models BigDatalog-style semi-naive BSP;
 // MRAAsync models Myria-style asynchronous evaluation; MRAAAP
 // re-implements Grape+'s adaptive asynchronous parallel model for
-// Figure 11.
+// Figure 11; MRASSP is stale synchronous parallel evaluation — BSP-style
+// supersteps with a barrier relaxed to Config.Staleness steps (ssp.go).
 const (
 	MRASyncAsync Mode = iota
 	NaiveSync
 	MRASync
 	MRAAsync
 	MRAAAP
+	MRASSP
 )
 
-var modeNames = [...]string{"MRA+SyncAsync", "Naive+Sync", "MRA+Sync", "MRA+Async", "MRA+AAP"}
+var modeNames = [...]string{"MRA+SyncAsync", "Naive+Sync", "MRA+Sync", "MRA+Async", "MRA+AAP", "MRA+SSP"}
 
 // String returns the mode's display name (Figure 10's series labels).
 func (m Mode) String() string {
@@ -58,6 +64,11 @@ type Config struct {
 	Alpha float64
 	// R is the adaptation trigger ratio (paper sets 2).
 	R float64
+
+	// Staleness bounds how many supersteps ahead of the slowest peer an
+	// MRASSP worker may run before blocking on stragglers (default 2).
+	// Other modes ignore it.
+	Staleness int
 
 	// CheckInterval is the master's termination-check period (default 1ms).
 	CheckInterval time.Duration
@@ -135,6 +146,9 @@ func (c Config) withDefaults() Config {
 	if c.R <= 0 {
 		c.R = 2
 	}
+	if c.Staleness <= 0 {
+		c.Staleness = 2
+	}
 	if c.CheckInterval <= 0 {
 		c.CheckInterval = time.Millisecond
 	}
@@ -161,4 +175,24 @@ type Result struct {
 	// Converged is false when the run stopped on the iteration cap or
 	// wall-clock limit instead of its termination condition.
 	Converged bool
+	// Workers holds per-worker observability, indexed by worker id.
+	Workers []WorkerStats
+}
+
+// WorkerStats is one worker's per-run observability: how the mode's
+// policies actually behaved (flush counts, the β trajectory of the
+// adaptive buffer rule, SSP straggler wait).
+type WorkerStats struct {
+	// Sent / Recv count KV updates crossing this worker's boundary.
+	Sent, Recv int64
+	// Flushes counts data messages (batches) this worker sent.
+	Flushes int64
+	// Passes counts productive compute passes (async family and SSP).
+	Passes int64
+	// Beta samples the mean adaptive buffer size β(i,·) once per
+	// adaptation window (unified mode with combining aggregates only).
+	Beta []float64
+	// StragglerWait is the total time an MRASSP worker spent blocked at
+	// the staleness gate waiting for slower peers.
+	StragglerWait time.Duration
 }

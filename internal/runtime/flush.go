@@ -1,0 +1,174 @@
+package runtime
+
+import "time"
+
+// FlushPolicy implementations (§5.3). Each existing mode's flush
+// behaviour is transcribed bit-for-bit from the former emitAsync /
+// timedFlush mode switches; policy_test.go replays event sequences
+// against the old-style decision rules to enforce that.
+
+// urgentDelta is §5.4's other half, shared by the asynchronous flush
+// policies: deltas well above the priority threshold are sent to their
+// neighbours immediately instead of waiting for the buffer to fill.
+func urgentDelta(threshold, v float64) bool {
+	return threshold > 0 && abs(v) >= 8*threshold
+}
+
+// asyncEagerBatch is the small fixed batch of the pure-async mode.
+const asyncEagerBatch = 64
+
+// barrierFlush is the synchronous extreme of the dial: buffers flush
+// only at a barrier (superstep end), never on emit or on the τ timer.
+// The worker's BatchMax cap still bounds any single message.
+type barrierFlush struct{}
+
+func (barrierFlush) onEmit(int, int, float64) bool { return false }
+func (barrierFlush) onTick(time.Time, *window)     {}
+
+// eagerFlush is the asynchronous extreme: Myria-style eager small
+// batches for maximum freshness. The unified engine also uses it for
+// selective aggregates, where a stale bound must be corrected later and
+// freshness therefore beats batching.
+type eagerFlush struct {
+	urgent float64 // §5.4 priority threshold (0 = off)
+}
+
+func (p eagerFlush) onEmit(_, n int, v float64) bool {
+	return urgentDelta(p.urgent, v) || n >= asyncEagerBatch
+}
+func (eagerFlush) onTick(time.Time, *window) {}
+
+// fixedBetaFlush re-implements Grape+'s AAP mode switch (§6.5): a fixed
+// buffer size β, plus a per-worker delay switch — a worker flooded by
+// in-messages delays its own sends (SSP-leaning, bigger batches on the
+// τ timer only); a starved worker flushes eagerly (AP-leaning).
+type fixedBetaFlush struct {
+	beta    int
+	tau     time.Duration
+	urgent  float64
+	delayed bool
+}
+
+func (p *fixedBetaFlush) onEmit(_, n int, v float64) bool {
+	if urgentDelta(p.urgent, v) {
+		return true
+	}
+	return !p.delayed && n >= p.beta
+}
+
+func (p *fixedBetaFlush) onTick(now time.Time, win *window) {
+	dT := now.Sub(win.start)
+	if dT < 4*p.tau {
+		return
+	}
+	p.delayed = win.in > win.out
+	win.in, win.out = 0, 0
+	win.start = now
+}
+
+// adaptiveBetaFlush is the paper's adaptive buffer rule (§5.3), the
+// heart of the unified engine: per-destination buffer sizes β(i,j)
+// start at BetaInit and, whenever the update accumulation rate
+// |B(i,j)|/ΔT leaves the band [β/(r·τ), r·β/τ], reset to α·τ·|B(i,j)|/ΔT.
+type adaptiveBetaFlush struct {
+	self   int
+	urgent float64
+	tau    time.Duration
+	alpha  float64
+	r      float64
+	// Clamp: the floor keeps slow-pace phases from degenerating to
+	// per-update messages (the folding window would vanish); the
+	// ceiling bounds staleness and keeps any single message from
+	// monopolising the emulated NIC.
+	betaFloor, betaCeil float64
+
+	beta []float64
+
+	// samples records the mean β over peers after each adaptation — the
+	// β trajectory surfaced through Result.Workers.
+	samples []float64
+}
+
+// betaSampleCap bounds the β trajectory kept for observability.
+const betaSampleCap = 512
+
+func newAdaptiveBetaFlush(cfg Config, self int) *adaptiveBetaFlush {
+	p := &adaptiveBetaFlush{
+		self:      self,
+		urgent:    cfg.PriorityThreshold,
+		tau:       cfg.Tau,
+		alpha:     cfg.Alpha,
+		r:         cfg.R,
+		betaFloor: float64(cfg.BetaInit) / 4,
+		betaCeil:  float64(2 * cfg.BetaInit),
+		beta:      make([]float64, cfg.Workers),
+	}
+	for j := range p.beta {
+		p.beta[j] = float64(cfg.BetaInit)
+	}
+	return p
+}
+
+func (p *adaptiveBetaFlush) onEmit(dst, n int, v float64) bool {
+	if urgentDelta(p.urgent, v) {
+		return true
+	}
+	return float64(n) >= p.beta[dst]
+}
+
+func (p *adaptiveBetaFlush) onTick(now time.Time, win *window) { p.adapt(now, win) }
+
+// adapt applies the β(i,j) update rule over the window ΔT ending now.
+func (p *adaptiveBetaFlush) adapt(now time.Time, win *window) {
+	dT := now.Sub(win.start)
+	if dT < 4*p.tau {
+		return
+	}
+	tau := p.tau.Seconds()
+	dts := dT.Seconds()
+	for j := range p.beta {
+		if j == p.self {
+			continue
+		}
+		rate := float64(win.counts[j]) / dts
+		hi := p.r * p.beta[j] / tau
+		lo := p.beta[j] / (p.r * tau)
+		if rate > hi || rate < lo {
+			b := p.alpha * tau * rate
+			if b < p.betaFloor {
+				b = p.betaFloor
+			}
+			if b > p.betaCeil {
+				b = p.betaCeil
+			}
+			p.beta[j] = b
+		}
+		win.counts[j] = 0
+	}
+	win.start = now
+	p.sample()
+}
+
+// sample records the current mean β over peers (observability only).
+func (p *adaptiveBetaFlush) sample() {
+	if len(p.samples) >= betaSampleCap {
+		return
+	}
+	sum, n := 0.0, 0
+	for j, b := range p.beta {
+		if j == p.self {
+			continue
+		}
+		sum += b
+		n++
+	}
+	if n > 0 {
+		p.samples = append(p.samples, sum/float64(n))
+	}
+}
+
+// betaReporter is the optional observability capability of a
+// FlushPolicy: a β trajectory to surface through Result.Workers.
+type betaReporter interface{ betaTrajectory() []float64 }
+
+func (p *adaptiveBetaFlush) betaTrajectory() []float64 { return p.samples }

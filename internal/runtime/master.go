@@ -72,10 +72,12 @@ func (m *master) recv() (transport.Message, bool) {
 }
 
 func (m *master) run() {
-	switch m.cfg.Mode {
-	case NaiveSync, MRASync:
+	// The mode registry (policy.go) records which modes run the BSP
+	// verdict protocol; everything else — the async family and SSP —
+	// terminates via polling.
+	if modeBarriered[m.cfg.Mode] {
 		m.runBSP()
-	default:
+	} else {
 		m.runAsync()
 	}
 }

@@ -1,0 +1,221 @@
+package runtime
+
+import (
+	"time"
+
+	"powerlog/internal/agg"
+	"powerlog/internal/compiler"
+)
+
+// This file defines the runtime's policy layers. The paper's central
+// engineering claim (§5.2–5.3) is a *unified* sync-async engine where the
+// synchronous and asynchronous extremes are just points on the
+// message-buffer dial. The worker therefore runs ONE compute loop
+// (worker.computeLoop) and delegates every mode-specific decision to
+// three narrow interfaces:
+//
+//   - FlushPolicy  (§5.3): when does a per-destination buffer go on the
+//     wire? Implementations: barrier (flush only at superstep end),
+//     eager small batches (Myria-style async), fixed-β with an AAP
+//     delay switch (§6.5), and the paper's adaptive-β rule.
+//   - Scheduler    (§5.4): in what order is a pass's dirty set drained,
+//     and which deltas are held back as low-priority? Implementations:
+//     FIFO, delta-stepping-style ordered scan, priority holding.
+//   - BarrierPolicy (§5.2): what synchronisation brackets a compute
+//     pass? Implementations: the BSP EndPhase/verdict protocol, free
+//     running (no barrier, master polls for termination), and the SSP
+//     staleness gate (ssp.go).
+//
+// A mode is just a registered (FlushPolicy, Scheduler, BarrierPolicy,
+// compute pass) quadruple; adding a consistency model is a one-file
+// addition (see ssp.go for the proof).
+
+// window is the per-worker traffic window ΔT that drives flush-policy
+// adaptation: per-destination buffered-update counts |B(i,j)| for the
+// β rule, and gross in/out message volume for the AAP mode switch. The
+// worker owns the counters; policies read and reset them in onTick.
+type window struct {
+	start  time.Time
+	counts []int64 // |B(i,j)| accumulated this window, per destination
+	in     int64   // KVs received this window (AAP)
+	out    int64   // KVs sent this window (AAP)
+}
+
+// FlushPolicy decides when per-destination buffers are sent (§5.3). It
+// replaces the former mode switches in emitAsync/timedFlush.
+type FlushPolicy interface {
+	// onEmit reports whether destination dst's buffer — bufLen entries
+	// after folding in a delta of value v — should flush now. The
+	// BatchMax hard cap is enforced by the worker, not the policy.
+	onEmit(dst, bufLen int, v float64) bool
+	// onTick runs the policy's timer work on the τ interval: window
+	// adaptation (the β(i,j) update rule, the AAP delay switch). The
+	// shared "flush buffers older than τ" sweep lives in the worker.
+	onTick(now time.Time, win *window)
+}
+
+// Scheduler owns a pass's drain order and the §5.4 low-priority holding
+// decision. It replaces the former inline ordered-scan and
+// priority-threshold branches in the compute loops.
+type Scheduler interface {
+	// arrange orders the drained batch in place (FIFO = no-op).
+	arrange(batch []drained)
+	// refreshes reports whether mid-pass deltas should be re-folded into
+	// a drained entry before processing (the delta-stepping saving).
+	refreshes() bool
+	// hold reports whether a delta of value v should wait locally (§5.4:
+	// unimportant deltas accumulate until the worker would idle). The
+	// caller refolds the delta into the intermediate when hold is true.
+	hold(v float64) bool
+	// release ends a holding phase because the worker has no other work;
+	// it reports whether any deltas were actually held (i.e. whether a
+	// new pass may find released work).
+	release() bool
+	// rearm re-enables holding after the worker made progress.
+	rearm()
+	// holding reports whether held deltas are pending (keeps the idle
+	// detector honest: held work is still work).
+	holding() bool
+}
+
+// BarrierPolicy brackets the unified compute loop with the mode's
+// synchronisation protocol.
+type BarrierPolicy interface {
+	// setup runs once before the first pass.
+	setup(w *worker)
+	// beginPass runs before a compute pass; it reports whether it made
+	// progress (e.g. by applying queued messages).
+	beginPass(w *worker) bool
+	// endPass runs after a compute pass; progressed aggregates
+	// beginPass's and the pass's own progress. Returning false stops
+	// the worker.
+	endPass(w *worker, progressed bool) bool
+}
+
+// policySet binds one evaluation mode's strategies. pass is the compute
+// body (scanPass for MRA modes, naivePass for naive re-evaluation).
+type policySet struct {
+	flush   FlushPolicy
+	sched   Scheduler
+	barrier BarrierPolicy
+	pass    func(*worker) int
+}
+
+// policyFactory builds a mode's policySet for one worker.
+type policyFactory func(cfg Config, plan *compiler.Plan, self int) policySet
+
+var (
+	modeFactories = map[Mode]policyFactory{}
+	// modeBarriered records which modes run the master's BSP
+	// PhaseDone/verdict protocol; all others use the polling master.
+	modeBarriered = map[Mode]bool{}
+)
+
+// registerMode installs a mode's policy factory. barriered selects the
+// master-side protocol (BSP verdicts vs. async polling).
+func registerMode(m Mode, barriered bool, f policyFactory) {
+	modeFactories[m] = f
+	modeBarriered[m] = barriered
+}
+
+// modeRegistered reports whether a mode has a policy factory (Run
+// rejects unknown modes up front).
+func modeRegistered(m Mode) bool { _, ok := modeFactories[m]; return ok }
+
+// policiesFor builds the worker's policy set. The caller must have
+// validated the mode with modeRegistered.
+func policiesFor(cfg Config, plan *compiler.Plan, self int) policySet {
+	return modeFactories[cfg.Mode](cfg, plan, self)
+}
+
+func init() {
+	registerMode(NaiveSync, true, newNaiveSyncPolicies)
+	registerMode(MRASync, true, newMRASyncPolicies)
+	registerMode(MRAAsync, false, newMRAAsyncPolicies)
+	registerMode(MRASyncAsync, false, newUnifiedPolicies)
+	registerMode(MRAAAP, false, newAAPPolicies)
+}
+
+// newNaiveSyncPolicies: SociaLite-style naive evaluation — re-derive the
+// full result each superstep under BSP barriers, flushing only at
+// superstep end.
+func newNaiveSyncPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
+	return policySet{
+		flush:   barrierFlush{},
+		sched:   baseScheduler(cfg, plan),
+		barrier: &bspBarrier{naive: true},
+		pass:    (*worker).naivePass,
+	}
+}
+
+// newMRASyncPolicies: BigDatalog-style semi-naive evaluation under BSP
+// barriers.
+func newMRASyncPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
+	return policySet{
+		flush:   barrierFlush{},
+		sched:   baseScheduler(cfg, plan),
+		barrier: &bspBarrier{},
+		pass:    (*worker).scanPass,
+	}
+}
+
+// newMRAAsyncPolicies: Myria-style maximum asynchrony — eager small
+// batches, no barrier.
+func newMRAAsyncPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
+	return policySet{
+		flush:   eagerFlush{urgent: cfg.PriorityThreshold},
+		sched:   withPriorityHold(baseScheduler(cfg, plan), cfg, plan),
+		barrier: freeRun{},
+		pass:    (*worker).scanPass,
+	}
+}
+
+// newUnifiedPolicies: the paper's unified sync-async engine. Selective
+// aggregates stay on the eager end of the dial (a stale bound must be
+// corrected later, so freshness beats batching); combining aggregates
+// run the adaptive-β buffer rule of §5.3.
+func newUnifiedPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
+	var flush FlushPolicy
+	if plan.Op.Selective() {
+		flush = eagerFlush{urgent: cfg.PriorityThreshold}
+	} else {
+		flush = newAdaptiveBetaFlush(cfg, self)
+	}
+	return policySet{
+		flush:   flush,
+		sched:   withPriorityHold(baseScheduler(cfg, plan), cfg, plan),
+		barrier: freeRun{},
+		pass:    (*worker).scanPass,
+	}
+}
+
+// newAAPPolicies: Grape+-style adaptive asynchronous parallel (§6.5) —
+// fixed β with a per-worker delay switch driven by in-message volume.
+func newAAPPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
+	return policySet{
+		flush:   &fixedBetaFlush{beta: cfg.BetaInit, tau: cfg.Tau, urgent: cfg.PriorityThreshold},
+		sched:   withPriorityHold(baseScheduler(cfg, plan), cfg, plan),
+		barrier: freeRun{},
+		pass:    (*worker).scanPass,
+	}
+}
+
+// baseScheduler picks the drain order: the delta-stepping-style ordered
+// scan applies only to selective aggregates with OrderedScan on.
+func baseScheduler(cfg Config, plan *compiler.Plan) Scheduler {
+	if cfg.OrderedScan && plan.Op.Selective() {
+		return orderedSched{asc: plan.Op.Kind() == agg.Min}
+	}
+	return fifoSched{}
+}
+
+// withPriorityHold layers §5.4's low-priority holding over a drain
+// order. It applies only to combining aggregates with a positive
+// threshold (selective aggregates must forward improvements promptly,
+// and applyPriorityDefault zeroes their threshold anyway).
+func withPriorityHold(inner Scheduler, cfg Config, plan *compiler.Plan) Scheduler {
+	if cfg.PriorityThreshold > 0 && !plan.Op.Selective() {
+		return &priorityHold{inner: inner, threshold: cfg.PriorityThreshold}
+	}
+	return inner
+}

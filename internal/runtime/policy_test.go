@@ -1,0 +1,436 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"powerlog/internal/agg"
+	"powerlog/internal/compiler"
+)
+
+// ---------------------------------------------------------------------------
+// Flush-decision equivalence: replay synthetic event traces against a
+// literal transcription of the pre-refactor emitAsync/timedFlush mode
+// switches and require the policy layer to make the same call at every
+// event. This is the refactor's bit-for-bit preservation contract.
+// ---------------------------------------------------------------------------
+
+// oldFlushRef transcribes the former mode switches (the emitAsync switch,
+// adaptBuffers, and adaptAAP) exactly as they appeared before the policy
+// refactor. Deliberately duplicated here rather than shared: the point is
+// an independent oracle.
+type oldFlushRef struct {
+	mode      Mode
+	selective bool
+	cfg       Config
+	self      int
+
+	beta       []float64
+	winCount   []int64
+	inWindow   int64
+	outWindow  int64
+	winStart   time.Time
+	aapDelayed bool
+}
+
+func newOldFlushRef(mode Mode, selective bool, cfg Config, start time.Time) *oldFlushRef {
+	r := &oldFlushRef{
+		mode: mode, selective: selective, cfg: cfg,
+		beta:     make([]float64, cfg.Workers),
+		winCount: make([]int64, cfg.Workers),
+		winStart: start,
+	}
+	for j := range r.beta {
+		r.beta[j] = float64(cfg.BetaInit)
+	}
+	return r
+}
+
+// emit reproduces the old emitAsync decision for a buffer holding bufLen
+// entries after the delta v was folded in. Barrier modes used
+// emitBuffered, which never flushed on emit.
+func (r *oldFlushRef) emit(dst, bufLen int, v float64) bool {
+	if r.mode == NaiveSync || r.mode == MRASync {
+		return false
+	}
+	r.winCount[dst]++
+	if t := r.cfg.PriorityThreshold; t > 0 && abs(v) >= 8*t {
+		return true
+	}
+	switch {
+	case r.mode == MRAAsync:
+		return bufLen >= asyncEagerBatch
+	case r.mode == MRAAAP:
+		return !r.aapDelayed && bufLen >= r.cfg.BetaInit
+	case r.selective:
+		return bufLen >= asyncEagerBatch
+	default:
+		return float64(bufLen) >= r.beta[dst]
+	}
+}
+
+// tick reproduces the old timedFlush adaptation calls.
+func (r *oldFlushRef) tick(now time.Time) {
+	if r.mode == MRASyncAsync {
+		r.adaptBuffers(now)
+	}
+	if r.mode == MRAAAP {
+		r.adaptAAP(now)
+	}
+}
+
+func (r *oldFlushRef) adaptBuffers(now time.Time) {
+	dT := now.Sub(r.winStart)
+	if dT < 4*r.cfg.Tau {
+		return
+	}
+	tau := r.cfg.Tau.Seconds()
+	dts := dT.Seconds()
+	for j := range r.beta {
+		if j == r.self {
+			continue
+		}
+		rate := float64(r.winCount[j]) / dts
+		hi := r.cfg.R * r.beta[j] / tau
+		lo := r.beta[j] / (r.cfg.R * tau)
+		if rate > hi || rate < lo {
+			b := r.cfg.Alpha * tau * rate
+			if lowest := float64(r.cfg.BetaInit) / 4; b < lowest {
+				b = lowest
+			}
+			if highest := float64(2 * r.cfg.BetaInit); b > highest {
+				b = highest
+			}
+			r.beta[j] = b
+		}
+		r.winCount[j] = 0
+	}
+	r.winStart = now
+}
+
+func (r *oldFlushRef) adaptAAP(now time.Time) {
+	dT := now.Sub(r.winStart)
+	if dT < 4*r.cfg.Tau {
+		return
+	}
+	r.aapDelayed = r.inWindow > r.outWindow
+	r.inWindow, r.outWindow = 0, 0
+	r.winStart = now
+}
+
+// lcg is a deterministic trace generator (no math/rand so traces are
+// stable across Go versions).
+type lcg uint64
+
+func (g *lcg) next() uint64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return uint64(*g >> 16)
+}
+
+func TestFlushDecisionEquivalence(t *testing.T) {
+	cases := []struct {
+		name      string
+		mode      Mode
+		kind      agg.Kind
+		threshold float64
+	}{
+		{"naive-sync", NaiveSync, agg.Min, 0},
+		{"mra-sync", MRASync, agg.Min, 0},
+		{"mra-async-selective", MRAAsync, agg.Min, 0},
+		{"mra-async-combining", MRAAsync, agg.Sum, 0},
+		{"mra-async-priority", MRAAsync, agg.Sum, 0.5},
+		{"aap", MRAAAP, agg.Sum, 0},
+		{"aap-priority", MRAAAP, agg.Sum, 0.5},
+		{"unified-selective", MRASyncAsync, agg.Min, 0},
+		{"unified-adaptive", MRASyncAsync, agg.Sum, 0},
+		{"unified-adaptive-priority", MRASyncAsync, agg.Sum, 0.25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const nw, self = 4, 0
+			cfg := Config{
+				Workers:           nw,
+				Mode:              tc.mode,
+				PriorityThreshold: tc.threshold,
+			}.withDefaults()
+			plan := &compiler.Plan{Op: agg.ByKind(tc.kind)}
+			ps := policiesFor(cfg, plan, self)
+
+			clock := time.Unix(1000, 0)
+			ref := newOldFlushRef(tc.mode, plan.Op.Selective(), cfg, clock)
+			win := window{start: clock, counts: make([]int64, nw)}
+			simLen := make([]int, nw)
+
+			rng := lcg(42)
+			values := []float64{0.001, 0.04, 0.9, 7.5, 120}
+			for step := 0; step < 20000; step++ {
+				r := rng.next()
+				switch {
+				case r%100 < 82: // emit
+					dst := 1 + int(r>>8)%(nw-1)
+					v := values[int(r>>24)%len(values)]
+					if r>>40&1 == 1 {
+						v = -v
+					}
+					simLen[dst]++
+					win.counts[dst]++
+					got := ps.flush.onEmit(dst, simLen[dst], v)
+					want := ref.emit(dst, simLen[dst], v)
+					if got != want {
+						t.Fatalf("step %d: emit(dst=%d, len=%d, v=%g) = %v, old rule says %v",
+							step, dst, simLen[dst], v, got, want)
+					}
+					if got {
+						win.out += int64(simLen[dst])
+						ref.outWindow += int64(simLen[dst])
+						simLen[dst] = 0
+					}
+				case r%100 < 92: // inbound traffic (drives the AAP switch)
+					n := int64(r>>8) % 400
+					win.in += n
+					ref.inWindow += n
+				default: // timer tick; occasionally jump past the 4τ window
+					adv := cfg.Tau/2 + time.Duration(r>>8)%(2*cfg.Tau)
+					if r>>32%5 == 0 {
+						adv += 5 * cfg.Tau
+					}
+					clock = clock.Add(adv)
+					ps.flush.onTick(clock, &win)
+					ref.tick(clock)
+				}
+			}
+
+			// The adaptive policy's β state must have tracked the old rule
+			// exactly (same float ops in the same order).
+			if ap, ok := ps.flush.(*adaptiveBetaFlush); ok {
+				for j := range ap.beta {
+					if j != self && ap.beta[j] != ref.beta[j] {
+						t.Errorf("β[%d] = %v, old rule has %v", j, ap.beta[j], ref.beta[j])
+					}
+				}
+			}
+			if fp, ok := ps.flush.(*fixedBetaFlush); ok {
+				if fp.delayed != ref.aapDelayed {
+					t.Errorf("AAP delayed = %v, old rule has %v", fp.delayed, ref.aapDelayed)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive-β unit tests: the band and the clamp, directly.
+// ---------------------------------------------------------------------------
+
+func adaptiveForTest() (*adaptiveBetaFlush, Config) {
+	cfg := Config{Workers: 2}.withDefaults()
+	return newAdaptiveBetaFlush(cfg, 0), cfg
+}
+
+// feedWindow pushes a count for destination 1 through one full adaptation
+// window of exactly 4τ and returns the resulting β(0,1).
+func feedWindow(p *adaptiveBetaFlush, cfg Config, count int64) float64 {
+	start := time.Unix(2000, 0)
+	win := window{start: start, counts: make([]int64, cfg.Workers)}
+	win.counts[1] = count
+	p.adapt(start.Add(4*cfg.Tau), &win)
+	return p.beta[1]
+}
+
+func TestAdaptiveBetaInBandNoChange(t *testing.T) {
+	p, cfg := adaptiveForTest()
+	// rate = β/τ sits in the middle of [β/(rτ), rβ/τ]: no adaptation.
+	dts := (4 * cfg.Tau).Seconds()
+	count := int64(float64(cfg.BetaInit) / cfg.Tau.Seconds() * dts)
+	if got := feedWindow(p, cfg, count); got != float64(cfg.BetaInit) {
+		t.Errorf("in-band rate moved β to %v", got)
+	}
+}
+
+func TestAdaptiveBetaAboveBandResets(t *testing.T) {
+	p, cfg := adaptiveForTest()
+	// rate = 3β/τ > rβ/τ (r = 2): β resets to α·τ·rate = 3αβ, clamped to
+	// the 2·BetaInit ceiling — 3·0.8 = 2.4 > 2.
+	dts := (4 * cfg.Tau).Seconds()
+	count := int64(3 * float64(cfg.BetaInit) / cfg.Tau.Seconds() * dts)
+	want := float64(2 * cfg.BetaInit)
+	if got := feedWindow(p, cfg, count); got != want {
+		t.Errorf("above-band β = %v, want ceiling %v", got, want)
+	}
+}
+
+func TestAdaptiveBetaBelowBandResets(t *testing.T) {
+	p, cfg := adaptiveForTest()
+	// A trickle well below β/(rτ): α·τ·rate lands under the floor and is
+	// clamped to BetaInit/4.
+	if got := feedWindow(p, cfg, 1); got != float64(cfg.BetaInit)/4 {
+		t.Errorf("below-band β = %v, want floor %v", got, float64(cfg.BetaInit)/4)
+	}
+}
+
+func TestAdaptiveBetaMidReset(t *testing.T) {
+	p, cfg := adaptiveForTest()
+	// A rate above the band whose α·τ·rate stays inside the clamp:
+	// rate = 2.5β/τ → β' = 2αβ = 2β·0.8 = 2·0.8·256 = 409.6... compute:
+	// α·τ·(2.5β/τ) = 2.5αβ = 2.5·0.8·256 = 512 — exactly the ceiling.
+	// Use 2.2β/τ instead: 2.2·0.8·256 = 450.56, strictly inside.
+	dts := (4 * cfg.Tau).Seconds()
+	count := int64(2.2 * float64(cfg.BetaInit) / cfg.Tau.Seconds() * dts)
+	got := feedWindow(p, cfg, count)
+	if got <= float64(cfg.BetaInit) || got >= float64(2*cfg.BetaInit) {
+		t.Errorf("mid-band reset β = %v, want inside (%v, %v)", got, cfg.BetaInit, 2*cfg.BetaInit)
+	}
+}
+
+func TestAdaptiveBetaShortWindowSkipped(t *testing.T) {
+	p, cfg := adaptiveForTest()
+	start := time.Unix(2000, 0)
+	win := window{start: start, counts: make([]int64, cfg.Workers)}
+	win.counts[1] = 1 << 20
+	p.adapt(start.Add(4*cfg.Tau-time.Nanosecond), &win)
+	if p.beta[1] != float64(cfg.BetaInit) {
+		t.Errorf("β adapted before the 4τ window elapsed")
+	}
+	if win.counts[1] == 0 {
+		t.Error("window counts reset before the 4τ window elapsed")
+	}
+}
+
+func TestAdaptiveBetaWindowCountsReset(t *testing.T) {
+	p, cfg := adaptiveForTest()
+	start := time.Unix(2000, 0)
+	win := window{start: start, counts: make([]int64, cfg.Workers)}
+	win.counts[1] = 123
+	now := start.Add(4 * cfg.Tau)
+	p.adapt(now, &win)
+	if win.counts[1] != 0 {
+		t.Error("window counts not reset after adaptation")
+	}
+	if !win.start.Equal(now) {
+		t.Error("window start not advanced after adaptation")
+	}
+	if len(p.betaTrajectory()) != 1 {
+		t.Errorf("β trajectory has %d samples, want 1", len(p.betaTrajectory()))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// outBuf.grow: filling past the 3/4-load boundary must preserve every
+// folded value and keep lookups working through the reindex.
+// ---------------------------------------------------------------------------
+
+func TestOutBufGrowReindex(t *testing.T) {
+	b := newOutBuf(agg.ByKind(agg.Sum))
+	// Cross the 3/4·256 boundary several times over: 4 doublings.
+	const n = 3000
+	for k := int64(0); k < n; k++ {
+		b.add(k*7919, 1) // spread keys; 7919 prime avoids trivial patterns
+	}
+	// Fold a second contribution into every key after the growth, proving
+	// the reindexed slots still find the original entries.
+	for k := int64(0); k < n; k++ {
+		b.add(k*7919, 2)
+	}
+	if b.len() != n {
+		t.Fatalf("len = %d, want %d (duplicate keys split across grow?)", b.len(), n)
+	}
+	got := map[int64]float64{}
+	for _, kv := range b.take() {
+		got[kv.K] = kv.V
+	}
+	for k := int64(0); k < n; k++ {
+		if got[k*7919] != 3 {
+			t.Fatalf("key %d folded to %v, want 3", k*7919, got[k*7919])
+		}
+	}
+	if b.len() != 0 {
+		t.Error("take did not empty the buffer")
+	}
+	// The emptied buffer must be immediately reusable (slots cleared).
+	b.add(1, 5)
+	b.add(1, 5)
+	if b.len() != 1 || b.vals[0] != 10 {
+		t.Error("buffer not reusable after take")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler strategies.
+// ---------------------------------------------------------------------------
+
+func TestOrderedSchedArrange(t *testing.T) {
+	batch := []drained{{1, 5}, {2, 1}, {3, 9}, {4, 3}}
+	orderedSched{asc: true}.arrange(batch)
+	for i := 1; i < len(batch); i++ {
+		if batch[i-1].val > batch[i].val {
+			t.Fatalf("ascending arrange out of order: %v", batch)
+		}
+	}
+	orderedSched{asc: false}.arrange(batch)
+	for i := 1; i < len(batch); i++ {
+		if batch[i-1].val < batch[i].val {
+			t.Fatalf("descending arrange out of order: %v", batch)
+		}
+	}
+	if !(orderedSched{}).refreshes() || (fifoSched{}).refreshes() {
+		t.Error("refreshes predicate wrong")
+	}
+}
+
+func TestPriorityHoldCycle(t *testing.T) {
+	s := &priorityHold{inner: fifoSched{}, threshold: 1.0}
+	if s.hold(5) {
+		t.Error("held an important delta")
+	}
+	if !s.hold(0.1) {
+		t.Error("did not hold a small delta")
+	}
+	if !s.holding() {
+		t.Error("holding not reported")
+	}
+	// Idle: release lets small deltas through exactly once.
+	if !s.release() {
+		t.Error("release with held work returned false")
+	}
+	if s.hold(0.1) {
+		t.Error("held a delta after release")
+	}
+	if s.release() {
+		t.Error("release with nothing held returned true")
+	}
+	// Progress rearms the threshold.
+	s.rearm()
+	if !s.hold(0.1) {
+		t.Error("did not hold after rearm")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// seenSet: dense bitset and sparse map behave identically.
+// ---------------------------------------------------------------------------
+
+func TestSeenSet(t *testing.T) {
+	for _, dense := range []bool{true, false} {
+		s := newSeenSet(dense, 200)
+		for _, k := range []int64{0, 1, 63, 64, 199} {
+			if s.has(k) {
+				t.Errorf("dense=%v: fresh set has %d", dense, k)
+			}
+			s.add(k)
+			if !s.has(k) {
+				t.Errorf("dense=%v: added key %d missing", dense, k)
+			}
+		}
+		// Out-of-range keys fall back to the map even in dense mode.
+		s.add(1 << 40)
+		if !s.has(1 << 40) {
+			t.Errorf("dense=%v: out-of-range key missing", dense)
+		}
+		s.reset()
+		for _, k := range []int64{0, 63, 199, 1 << 40} {
+			if s.has(k) {
+				t.Errorf("dense=%v: key %d survived reset", dense, k)
+			}
+		}
+	}
+}

@@ -19,6 +19,9 @@ func Run(plan *compiler.Plan, cfg Config) (*Result, error) {
 	if plan.Propagate == nil || plan.Op == nil {
 		return nil, fmt.Errorf("runtime: plan is not compiled")
 	}
+	if !modeRegistered(cfg.Mode) {
+		return nil, fmt.Errorf("runtime: mode %v has no registered policies", cfg.Mode)
+	}
 	if !cfg.Mode.MRA() && len(plan.BaseNaive) == 0 {
 		return nil, fmt.Errorf("runtime: naive evaluation has no base tuples to derive from")
 	}
@@ -80,12 +83,29 @@ func Run(plan *compiler.Plan, cfg Config) (*Result, error) {
 		res.MessagesSent += w.sent
 		res.MessagesRecv += w.recv
 		res.Flushes += w.flushes
+		res.Workers = append(res.Workers, w.stats())
 		w.table.Range(func(k int64, v float64) bool {
 			res.Values[k] = v
 			return true
 		})
 	}
 	return res, nil
+}
+
+// stats snapshots a worker's observability after the run has stopped
+// (the worker goroutine has exited, so reads are race-free).
+func (w *worker) stats() WorkerStats {
+	ws := WorkerStats{
+		Sent:          w.sent,
+		Recv:          w.recv,
+		Flushes:       w.flushes,
+		Passes:        w.passes,
+		StragglerWait: w.stragglerWait,
+	}
+	if r, ok := w.pol.flush.(betaReporter); ok {
+		ws.Beta = r.betaTrajectory()
+	}
+	return ws
 }
 
 // applyPriorityDefault normalises the §5.4 priority knob: the feature is

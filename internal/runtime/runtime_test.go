@@ -15,11 +15,11 @@ import (
 	"powerlog/internal/ref"
 )
 
-var allModes = []Mode{NaiveSync, MRASync, MRAAsync, MRASyncAsync, MRAAAP}
+var allModes = []Mode{NaiveSync, MRASync, MRAAsync, MRASyncAsync, MRAAAP, MRASSP}
 
 // mraModes excludes naive (used where naive is too slow or semantically
 // covered elsewhere).
-var mraModes = []Mode{MRASync, MRAAsync, MRASyncAsync, MRAAAP}
+var mraModes = []Mode{MRASync, MRAAsync, MRASyncAsync, MRAAAP, MRASSP}
 
 func compilePlan(t *testing.T, src string, db *edb.DB) *compiler.Plan {
 	t.Helper()
@@ -378,8 +378,22 @@ func TestModeStrings(t *testing.T) {
 	if NaiveSync.String() != "Naive+Sync" || MRASyncAsync.String() != "MRA+SyncAsync" {
 		t.Error("mode names wrong")
 	}
-	if NaiveSync.MRA() || !MRAAsync.MRA() {
+	if MRASSP.String() != "MRA+SSP" {
+		t.Error("SSP mode name wrong")
+	}
+	if NaiveSync.MRA() || !MRAAsync.MRA() || !MRASSP.MRA() {
 		t.Error("MRA predicate wrong")
+	}
+	if Mode(99).String() != "Mode(?)" {
+		t.Error("out-of-range mode name wrong")
+	}
+	for _, m := range allModes {
+		if !modeRegistered(m) {
+			t.Errorf("mode %v not registered", m)
+		}
+	}
+	if modeRegistered(Mode(99)) {
+		t.Error("unknown mode reported registered")
 	}
 }
 

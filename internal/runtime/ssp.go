@@ -1,0 +1,146 @@
+package runtime
+
+import (
+	"time"
+
+	"powerlog/internal/compiler"
+	"powerlog/internal/transport"
+)
+
+// MRASSP — stale synchronous parallel evaluation — is the point between
+// BSP and AP that Das & Zaniolo argue often beats both: workers run
+// supersteps like BSP (buffer a whole pass, flush at superstep end),
+// but the barrier is relaxed — a worker may run up to Staleness
+// supersteps ahead of the slowest peer before blocking on stragglers.
+// Staleness = 0 degenerates to lockstep; Staleness = ∞ would be AP.
+//
+// This file is the whole mode: a FlushPolicy (barrier-style superstep
+// batching), a BarrierPolicy (the staleness gate over per-peer EndPhase
+// counts), and a registration — the policy-layer seams make a new
+// consistency model a one-file addition.
+//
+// Termination uses the polling master (like the async family): workers
+// keep answering StatsRequest while blocked at the gate, so quiescence
+// and ε detection work unchanged. Correctness rests on Theorem 3, which
+// licenses any interleaving of fold/propagate for MRA programs — SSP
+// merely constrains the schedule the theorem already covers.
+
+func init() {
+	registerMode(MRASSP, false, newSSPPolicies)
+}
+
+func newSSPPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
+	return policySet{
+		// Superstep batching: buffers flush only when the step ends
+		// (barrier semantics), never on emit or the τ timer.
+		flush:   barrierFlush{},
+		sched:   withPriorityHold(baseScheduler(cfg, plan), cfg, plan),
+		barrier: &sspBarrier{staleness: cfg.Staleness},
+		pass:    (*worker).scanPass,
+	}
+}
+
+// sspBarrier implements the staleness gate. steps counts the supersteps
+// this worker has completed; each completion broadcasts an EndPhase
+// marker, and handle() counts markers per sender in w.peerSteps — the
+// vector clock the gate reads.
+type sspBarrier struct {
+	staleness int
+	steps     int
+}
+
+func (b *sspBarrier) setup(*worker) {}
+
+func (b *sspBarrier) beginPass(w *worker) bool { return w.drainInbox() }
+
+func (b *sspBarrier) endPass(w *worker, progressed bool) bool {
+	if !progressed {
+		if w.pol.sched.release() {
+			// §5.4: held low-priority deltas are used when the worker
+			// would otherwise idle.
+			return true
+		}
+		// An idle worker's clock ticks freely toward the frontier, so a
+		// fast peer blocked at the gate can never deadlock on a peer
+		// that simply has no work: the straggler catches up one marker
+		// per idle pass until the gap closes.
+		if b.steps < w.maxPeerSteps() {
+			b.advance(w)
+			return true
+		}
+		w.flushAll()
+		w.idleWait()
+		return true
+	}
+	w.passes++
+	w.pol.sched.rearm()
+	b.advance(w)
+	// The gate: before starting superstep steps+1, every peer must have
+	// completed at least steps − Staleness.
+	w.awaitPeerSteps(b.steps - b.staleness)
+	return true
+}
+
+// advance completes one superstep: flush the pass's buffered updates,
+// then fence them with EndPhase markers (data lane, so per-pair
+// ordering guarantees the data lands first).
+func (b *sspBarrier) advance(w *worker) {
+	w.flushAll()
+	for j := 0; j < w.nw; j++ {
+		if j != w.id {
+			w.enqueue(j, transport.Message{Kind: transport.EndPhase, Round: b.steps})
+		}
+	}
+	b.steps++
+	w.rounds++
+}
+
+// minPeerSteps / maxPeerSteps scan the EndPhase vector clock.
+func (w *worker) minPeerSteps() int {
+	first := true
+	least := 0
+	for j, s := range w.peerSteps {
+		if j == w.id {
+			continue
+		}
+		if first || s < least {
+			least, first = s, false
+		}
+	}
+	return least
+}
+
+func (w *worker) maxPeerSteps() int {
+	most := 0
+	for j, s := range w.peerSteps {
+		if j != w.id && s > most {
+			most = s
+		}
+	}
+	return most
+}
+
+// awaitPeerSteps blocks until every peer has completed at least need
+// supersteps, handling all control traffic (stats polls, Stop) while
+// blocked. The blocked time is accounted as straggler wait — the SSP
+// cost surfaced through Result.Workers.
+func (w *worker) awaitPeerSteps(need int) {
+	if w.nw == 1 || need <= 0 {
+		return
+	}
+	var start time.Time
+	for !w.stopped && w.minPeerSteps() < need {
+		if start.IsZero() {
+			start = time.Now()
+		}
+		m, ok := <-w.conn.Inbox()
+		if !ok {
+			w.stopped = true
+			break
+		}
+		w.handle(m)
+	}
+	if !start.IsZero() {
+		w.stragglerWait += time.Since(start)
+	}
+}

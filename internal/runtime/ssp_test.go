@@ -1,0 +1,137 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"powerlog/internal/edb"
+	"powerlog/internal/gen"
+	"powerlog/internal/progs"
+	"powerlog/internal/ref"
+)
+
+// TestSSPStalenessSweep checks that every staleness bound — from lockstep
+// to far beyond the frontier — reaches the same SSSP fixpoint. Selective
+// aggregates must be exact regardless of how stale the reads were
+// (Theorem 3 covers every interleaving SSP can produce).
+func TestSSPStalenessSweep(t *testing.T) {
+	g := gen.Uniform(300, 1800, 50, 97)
+	want := ref.Dijkstra(g, 0)
+	for _, staleness := range []int{1, 2, 4, 16} {
+		db := edb.NewDB()
+		db.SetGraph("edge", g)
+		plan := compilePlan(t, progs.SSSP, db)
+		res, err := Run(plan, Config{
+			Workers:       4,
+			Mode:          MRASSP,
+			Staleness:     staleness,
+			CheckInterval: 200 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatalf("staleness %d: %v", staleness, err)
+		}
+		if !res.Converged {
+			t.Errorf("staleness %d: did not converge", staleness)
+		}
+		expectClose(t, MRASSP, res.Values, want, math.Inf(1), 1e-9)
+	}
+}
+
+// TestSSPCombiningEpsilon checks the ε path: PageRank under SSP must land
+// within the same tolerance as the other modes.
+func TestSSPCombiningEpsilon(t *testing.T) {
+	g := gen.RMAT(8, 1200, 0, 17)
+	want := ref.PageRank(g, 500, 1e-9)
+	for _, staleness := range []int{1, 3} {
+		db := edb.NewDB()
+		db.SetGraph("edge", g)
+		plan := compilePlan(t, progs.PageRank, db)
+		res, err := Run(plan, Config{
+			Workers:       4,
+			Mode:          MRASSP,
+			Staleness:     staleness,
+			CheckInterval: 200 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatalf("staleness %d: %v", staleness, err)
+		}
+		expectClose(t, MRASSP, res.Values, want, math.NaN(), 2e-3)
+	}
+}
+
+// TestSSPWorkerStats checks the per-worker observability contract: one
+// WorkerStats entry per worker, message counts consistent with the run
+// totals, and productive passes recorded.
+func TestSSPWorkerStats(t *testing.T) {
+	g := gen.Uniform(200, 1200, 50, 71)
+	db := edb.NewDB()
+	db.SetGraph("edge", g)
+	plan := compilePlan(t, progs.SSSP, db)
+	res := runMode(t, plan, MRASSP, 4)
+	if len(res.Workers) != 4 {
+		t.Fatalf("got %d WorkerStats, want 4", len(res.Workers))
+	}
+	var sent, recv, flushes, passes int64
+	for _, ws := range res.Workers {
+		sent += ws.Sent
+		recv += ws.Recv
+		flushes += ws.Flushes
+		passes += ws.Passes
+	}
+	if sent != res.MessagesSent || recv != res.MessagesRecv || flushes != res.Flushes {
+		t.Errorf("per-worker sums (%d/%d/%d) disagree with run totals (%d/%d/%d)",
+			sent, recv, flushes, res.MessagesSent, res.MessagesRecv, res.Flushes)
+	}
+	if passes == 0 {
+		t.Error("no productive passes recorded")
+	}
+}
+
+// TestSSPSingleWorker: with one worker there are no peers and the gate
+// must never block.
+func TestSSPSingleWorker(t *testing.T) {
+	g := gen.Uniform(100, 500, 10, 73)
+	db := edb.NewDB()
+	db.SetGraph("edge", g)
+	plan := compilePlan(t, progs.SSSP, db)
+	res := runMode(t, plan, MRASSP, 1)
+	want := ref.Dijkstra(g, 0)
+	expectClose(t, MRASSP, res.Values, want, math.Inf(1), 1e-9)
+	if res.MessagesSent != 0 {
+		t.Errorf("single worker sent %d messages", res.MessagesSent)
+	}
+}
+
+// TestBetaTrajectoryReported: the unified mode on a combining aggregate
+// samples its β trajectory into WorkerStats.
+func TestBetaTrajectoryReported(t *testing.T) {
+	g := gen.RMAT(8, 1200, 0, 17)
+	db := edb.NewDB()
+	db.SetGraph("edge", g)
+	plan := compilePlan(t, progs.PageRank, db)
+	res, err := Run(plan, Config{
+		Workers:       4,
+		Mode:          MRASyncAsync,
+		CheckInterval: 200 * time.Microsecond,
+		Tau:           200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ws := range res.Workers {
+		if ws.Beta == nil {
+			t.Fatalf("worker %d: no β trajectory on adaptive mode", i)
+		}
+	}
+	// Selective programs use eager flushing — no β to report.
+	db2 := edb.NewDB()
+	db2.SetGraph("edge", gen.Uniform(100, 500, 10, 73))
+	plan2 := compilePlan(t, progs.SSSP, db2)
+	res2 := runMode(t, plan2, MRASyncAsync, 2)
+	for i, ws := range res2.Workers {
+		if ws.Beta != nil {
+			t.Errorf("worker %d: unexpected β trajectory on selective program", i)
+		}
+	}
+}

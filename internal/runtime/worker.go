@@ -12,9 +12,12 @@ import (
 	"powerlog/internal/transport"
 )
 
-// worker owns one MonoTable shard and runs the compute loop of its mode.
-// It has a dedicated communication goroutine (paper §5.3: "a dedicated
-// thread for the communication among workers") fed through w.out.
+// worker owns one MonoTable shard and runs the unified compute loop,
+// parameterised by its mode's policy set (policy.go): a FlushPolicy for
+// message buffering, a Scheduler for drain order and priority holding,
+// and a BarrierPolicy for synchronisation. It has a dedicated
+// communication goroutine (paper §5.3: "a dedicated thread for the
+// communication among workers") fed through w.out.
 type worker struct {
 	id   int
 	nw   int
@@ -22,12 +25,15 @@ type worker struct {
 	plan *compiler.Plan
 	conn transport.Conn
 
+	pol policySet // the mode's flush/scheduling/barrier strategies
+
 	table monotable.Table // the shard (MRA modes: the only table)
 	next  monotable.Table // naive mode: the table being built this round
 	apply monotable.Table // where incoming Data folds land (next in naive mode)
 
 	ownBase []compiler.KV            // naive mode: owned base tuples re-derived per round
 	naive   *compiler.NaiveEvaluator // naive mode: per-worker relational join
+	seen    *seenSet                 // naive mode: reused key-membership tracker
 
 	out      chan outMsg
 	outCtrl  chan outMsg // control lane: skips ahead of bulk data on the NIC
@@ -38,15 +44,8 @@ type worker struct {
 	// sender-side combining that makes a buffered update "accumulate"
 	// rather than queue (Figure 7's Intermediate, applied pre-wire).
 	bufs      []*outBuf
-	beta      []float64
 	lastFlush []time.Time
-	winStart  time.Time
-	winCount  []int64 // |B(i,j)| accumulated in the current window ΔT
-
-	// AAP state: recent in-message volume drives the mode switch.
-	inWindow   int64
-	outWindow  int64
-	aapDelayed bool
+	win       window // traffic window ΔT driving FlushPolicy adaptation
 
 	sent, recv int64
 	flushes    int64
@@ -55,15 +54,18 @@ type worker struct {
 	passes     int64   // async compute-loop iterations
 	rounds     int
 
-	// low-priority holding (§5.4)
-	lowPrioHeld  bool
-	thresholdOff bool
+	// Reused drain-pass storage: a steady-state pass allocates nothing.
+	drainKeys []int64
+	drainBuf  []drained
 
 	// control-state set by handle()
 	stopped    bool
 	endPhases  int
+	peerSteps  []int          // EndPhase markers per sender (SSP staleness gate)
 	verdict    transport.Kind // Continue or Stop, valid when verdictSet
 	verdictSet bool
+
+	stragglerWait time.Duration // SSP: total time blocked on stale peers
 }
 
 type outMsg struct {
@@ -109,17 +111,19 @@ func newWorker(id int, cfg Config, plan *compiler.Plan, conn transport.Conn) *wo
 		commDone: make(chan struct{}),
 
 		bufs:      make([]*outBuf, cfg.Workers),
-		beta:      make([]float64, cfg.Workers),
 		lastFlush: make([]time.Time, cfg.Workers),
-		winCount:  make([]int64, cfg.Workers),
-		winStart:  time.Now(),
+		peerSteps: make([]int, cfg.Workers),
+		win: window{
+			start:  time.Now(),
+			counts: make([]int64, cfg.Workers),
+		},
 	}
+	w.pol = policiesFor(cfg, plan, id)
 	w.table = w.newTable()
 	w.apply = w.table
 	now := time.Now()
-	for j := range w.beta {
+	for j := range w.bufs {
 		w.bufs[j] = newOutBuf(plan.Op)
-		w.beta[j] = float64(cfg.BetaInit)
 		w.lastFlush[j] = now
 	}
 	go w.commLoop()
@@ -251,11 +255,14 @@ func (w *worker) handle(m transport.Message) {
 			w.apply.FoldDelta(kv.K, kv.V)
 		}
 		w.recv += int64(len(m.KVs))
-		w.inWindow += int64(len(m.KVs))
+		w.win.in += int64(len(m.KVs))
 		// The batch is spent; recycle it (see the contract in transport).
 		transport.PutBatch(m.KVs)
 	case transport.EndPhase:
 		w.endPhases++
+		if m.From >= 0 && m.From < len(w.peerSteps) {
+			w.peerSteps[m.From]++
+		}
 	case transport.Continue:
 		w.verdict, w.verdictSet = transport.Continue, true
 	case transport.Stop:
@@ -267,7 +274,7 @@ func (w *worker) handle(m transport.Message) {
 }
 
 func (w *worker) replyStats(round int) {
-	idle := !w.table.HasDirty() && !w.lowPrioHeld && w.buffersEmpty()
+	idle := !w.table.HasDirty() && !w.pol.sched.holding() && w.buffersEmpty()
 	// The paper's termination thread evaluates the aggregation of the
 	// Accumulation column; the master diffs consecutive global values.
 	// accSum is maintained incrementally from FoldAcc's signed deltas,
@@ -279,7 +286,7 @@ func (w *worker) replyStats(round int) {
 		AccSum:   w.accSum,
 		Passes:   w.passes,
 		Idle:     idle,
-		Dirty:    w.table.HasDirty() || w.lowPrioHeld || !w.buffersEmpty(),
+		Dirty:    w.table.HasDirty() || w.pol.sched.holding() || !w.buffersEmpty(),
 	}
 	w.accDelta = 0
 	w.enqueue(transport.MasterID(w.nw), transport.Message{
@@ -341,7 +348,7 @@ func (w *worker) flush(j int) {
 		return
 	}
 	w.sent += int64(len(kvs))
-	w.outWindow += int64(len(kvs))
+	w.win.out += int64(len(kvs))
 	w.flushes++
 	w.lastFlush[j] = time.Now()
 	w.enqueue(j, transport.Message{Kind: transport.Data, KVs: kvs})
@@ -369,6 +376,161 @@ func (w *worker) drainInbox() bool {
 			return progressed
 		}
 	}
+}
+
+// run executes the worker until the master stops it: the single unified
+// compute loop, bracketed by the mode's BarrierPolicy. Every mode —
+// naive/MRA BSP, the async family, SSP — is this loop with different
+// policies plugged in.
+func (w *worker) run() {
+	defer func() {
+		close(w.out)
+		close(w.outCtrl)
+		<-w.commDone
+	}()
+	w.pol.barrier.setup(w)
+	for !w.stopped {
+		progressed := w.pol.barrier.beginPass(w)
+		if w.stopped {
+			return
+		}
+		if n := w.pol.pass(w); n > 0 {
+			progressed = true
+		}
+		if !w.pol.barrier.endPass(w, progressed) {
+			return
+		}
+	}
+}
+
+// scanPass is the shared MRA compute body (paper Figure 7): drain a
+// snapshot of dirty keys in the Scheduler's order, fold each delta into
+// its accumulation, and propagate improvements. It returns how many
+// rows produced work.
+func (w *worker) scanPass() int {
+	n := 0
+	refresh := w.pol.sched.refreshes()
+	for _, d := range w.drainSnapshot() {
+		if refresh {
+			w.refresh(&d)
+		}
+		// §5.4 priority: small combining-aggregate deltas wait locally.
+		// Refolding marks the row dirty again; the scheduler tracks the
+		// held state so the idle detector stays honest.
+		if w.pol.sched.hold(d.val) {
+			w.table.FoldDelta(d.key, d.val)
+			continue
+		}
+		improved, change, signed := w.table.FoldAcc(d.key, d.val)
+		w.accDelta += change
+		w.accSum += signed
+		if !w.shouldPropagate(improved, d.val) {
+			continue
+		}
+		n++
+		w.plan.Propagate(d.key, d.val, w.emit)
+	}
+	return n
+}
+
+// drained is one key's delta taken from the dirty set this pass.
+type drained struct {
+	key int64
+	val float64
+}
+
+// drainSnapshot drains the current dirty set into a slice ordered by
+// the Scheduler. The backing storage is reused across passes, so a
+// steady-state pass allocates nothing.
+func (w *worker) drainSnapshot() []drained {
+	keys := w.drainKeys[:0]
+	w.table.ScanDirty(func(k int64) { keys = append(keys, k) })
+	w.drainKeys = keys
+	out := w.drainBuf[:0]
+	for _, k := range keys {
+		if v, ok := w.table.Drain(k); ok {
+			out = append(out, drained{k, v})
+		}
+	}
+	w.drainBuf = out
+	w.pol.sched.arrange(out)
+	return out
+}
+
+// refresh folds any delta that arrived since the snapshot into d — under
+// the ordered schedule, a key processed late in the pass picks up the
+// improvements its predecessors just propagated, which is where the
+// delta-stepping saving comes from.
+func (w *worker) refresh(d *drained) {
+	if v, ok := w.table.Drain(d.key); ok {
+		d.val = w.plan.Op.Fold(d.val, v)
+	}
+}
+
+// shouldPropagate implements the per-aggregate forwarding rule: selective
+// aggregates forward only improvements (anything else is dominated);
+// combining aggregates forward every non-zero delta.
+func (w *worker) shouldPropagate(improved bool, tmp float64) bool {
+	if w.plan.Op.Selective() {
+		return improved
+	}
+	return tmp != 0
+}
+
+// emit routes one contribution: local keys fold directly (they join the
+// next pass via the dirty set), remote keys are buffered and flushed
+// when the mode's FlushPolicy — or the BatchMax hard cap — says so.
+func (w *worker) emit(dst int64, v float64) {
+	o := w.owner(dst)
+	if o == w.id {
+		w.apply.FoldDelta(dst, v)
+		return
+	}
+	w.bufs[o].add(dst, v)
+	w.win.counts[o]++
+	if w.pol.flush.onEmit(o, w.bufs[o].len(), v) {
+		w.flush(o)
+		return
+	}
+	if w.bufs[o].len() >= w.cfg.BatchMax {
+		w.flush(o)
+	}
+}
+
+// timedFlush applies the τ interval — any buffer older than τ is sent —
+// then hands the FlushPolicy its adaptation tick (the β(i,j) update
+// rule of §5.3, the AAP delay switch of §6.5).
+func (w *worker) timedFlush() {
+	now := time.Now()
+	for j := range w.bufs {
+		if j == w.id {
+			continue
+		}
+		if w.bufs[j].len() > 0 && now.Sub(w.lastFlush[j]) >= w.cfg.Tau {
+			w.flush(j)
+		}
+	}
+	w.pol.flush.onTick(now, &w.win)
+}
+
+// idleWait blocks briefly for new input so an idle worker does not spin.
+func (w *worker) idleWait() {
+	select {
+	case m, ok := <-w.conn.Inbox():
+		if !ok {
+			w.stopped = true
+			return
+		}
+		w.handle(m)
+	case <-time.After(200 * time.Microsecond):
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // outBuf is a per-destination buffer that folds same-key updates with
@@ -460,21 +622,4 @@ func (b *outBuf) take() []transport.KV {
 	b.vals = b.vals[:0]
 	clear(b.slots)
 	return kvs
-}
-
-// run executes the worker until the master stops it.
-func (w *worker) run() {
-	defer func() {
-		close(w.out)
-		close(w.outCtrl)
-		<-w.commDone
-	}()
-	switch w.cfg.Mode {
-	case NaiveSync:
-		w.runBSP(true)
-	case MRASync:
-		w.runBSP(false)
-	default:
-		w.runAsync()
-	}
 }

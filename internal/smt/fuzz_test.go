@@ -103,10 +103,10 @@ func TestFuzzReluNeverValid(t *testing.T) {
 func TestFuzzMinAffineNonNegValid(t *testing.T) {
 	for c := 0; c < 5; c++ {
 		f := func(x *expr.Expr) *expr.Expr { return expr.Add(x, expr.Num(float64(c))) }
-		min := func(a, b *expr.Expr) *expr.Expr { return expr.Call("min", a, b) }
+		minE := func(a, b *expr.Expr) *expr.Expr { return expr.Call("min", a, b) }
 		x1, y1, x2, y2 := expr.Var("x1"), expr.Var("y1"), expr.Var("x2"), expr.Var("y2")
-		lhs := min(f(min(x1, y1)), f(min(x2, y2)))
-		rhs := min(min(min(f(x1), f(y1)), f(x2)), f(y2))
+		lhs := minE(f(minE(x1, y1)), f(minE(x2, y2)))
+		rhs := minE(minE(minE(f(x1), f(y1)), f(x2)), f(y2))
 		res := ProveEq(lhs, rhs, nil)
 		if res.Verdict != Valid {
 			t.Errorf("min with f=x+%d: %v (%s)", c, res.Verdict, res.Reason)

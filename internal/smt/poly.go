@@ -187,17 +187,17 @@ func (p Poly) Degree() int {
 	if len(p) == 0 {
 		return -1
 	}
-	max := 0
+	deg := 0
 	for k := range p {
 		d := 0
 		for _, pow := range decodeMono(k) {
 			d += pow
 		}
-		if d > max {
-			max = d
+		if d > deg {
+			deg = d
 		}
 	}
-	return max
+	return deg
 }
 
 // Vars returns the sorted variables appearing in p.

@@ -78,6 +78,9 @@ const (
 	// ModeAAP is the Grape+-style adaptive asynchronous parallel model
 	// re-implemented for the paper's §6.5 comparison.
 	ModeAAP = runtime.MRAAAP
+	// ModeSSP is stale synchronous parallel evaluation: BSP-style
+	// supersteps with the barrier relaxed to Options.Staleness steps.
+	ModeSSP = runtime.MRASSP
 )
 
 // Programs exposes the paper's fourteen catalogue programs (Table 1).
