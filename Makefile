@@ -1,12 +1,14 @@
 # Tier-1 verification for this repo: `make check` is what CI
 # (.github/workflows/ci.yml) and the ROADMAP's verify step run. The race
 # pass covers the packages on the zero-allocation message path (combiner
-# → pooled batches → codec → MonoTable fold), where a recycle-contract
-# violation would surface as a data race. `go test ./...` includes
-# internal/lint, a repo-local static check (builtin-shadowing guard).
-.PHONY: check build vet test race bench
+# → pooled batches → codec → MonoTable fold) plus checkpointing, where a
+# recycle-contract violation would surface as a data race. `make lint`
+# runs the repo-local static analyzers of internal/lint (cmd/plvet):
+# recycle, atomicmix, lockblock, shadow — the same checks also run under
+# `go test ./internal/lint`, so plain `go test ./...` enforces them too.
+.PHONY: check build vet lint test race bench
 
-check: vet build test race
+check: vet lint build test race
 
 build:
 	go build ./...
@@ -14,11 +16,14 @@ build:
 vet:
 	go vet ./...
 
+lint:
+	go run ./cmd/plvet ./...
+
 test:
 	go test ./...
 
 race:
-	go test -race ./internal/runtime/... ./internal/transport/... ./internal/monotable/...
+	go test -race ./internal/runtime/... ./internal/transport/... ./internal/monotable/... ./internal/ckpt/...
 
 # Hot-path microbenches with allocation counts (BENCH_PR1.json records
 # the tracked numbers).

@@ -1,0 +1,124 @@
+// Command plvet runs the repo-local static analyzers of internal/lint
+// over the module and prints findings as file:line:col diagnostics,
+// exiting non-zero when any invariant is violated.
+//
+// Usage:
+//
+//	go run ./cmd/plvet ./...                  # whole module
+//	go run ./cmd/plvet ./internal/transport   # one subtree
+//	go run ./cmd/plvet -only recycle,shadow ./...
+//	go run ./cmd/plvet -list
+//
+// The whole module is always loaded and type-checked (analyzers need
+// cross-package types either way); patterns only filter which packages'
+// findings are reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"powerlog/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: plvet [-only a,b] [-list] [patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	var names []string
+	if *only != "" {
+		names = strings.Split(*only, ",")
+	}
+	analyzers, err := lint.ByName(names)
+	if err != nil {
+		fatal(err)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := lint.Run(mod, analyzers)
+	findings = filterByPatterns(findings, flag.Args(), cwd)
+
+	for _, f := range findings {
+		// Report paths relative to the invocation directory, like go vet.
+		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "plvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// filterByPatterns keeps findings under the directories named by
+// go-style patterns ("./...", "./internal/transport", ...). No patterns
+// (or any "./..." from the module root) means everything.
+func filterByPatterns(findings []lint.Finding, patterns []string, cwd string) []lint.Finding {
+	if len(patterns) == 0 {
+		return findings
+	}
+	type scope struct {
+		dir       string
+		recursive bool
+	}
+	var scopes []scope
+	for _, p := range patterns {
+		recursive := false
+		if strings.HasSuffix(p, "/...") {
+			recursive = true
+			p = strings.TrimSuffix(p, "/...")
+		} else if p == "..." {
+			recursive = true
+			p = "."
+		}
+		dir := p
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		scopes = append(scopes, scope{dir: filepath.Clean(dir), recursive: recursive})
+	}
+	var out []lint.Finding
+	for _, f := range findings {
+		dir := filepath.Dir(f.Pos.Filename)
+		for _, s := range scopes {
+			if dir == s.dir || (s.recursive && strings.HasPrefix(dir, s.dir+string(filepath.Separator))) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "plvet: %v\n", err)
+	os.Exit(1)
+}

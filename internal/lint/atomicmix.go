@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicmixAnalyzer enforces the MonoTable word discipline (paper §5.2:
+// accumulation and intermediate entries are updated with lock-free
+// atomic folds): a variable or struct field that is accessed through
+// sync/atomic — directly or via the repo's thin wrappers (monotable's
+// loadU64/casU64/swapWord/loadWord/markDirty, agg's Load/Store and the
+// Op atomic folds, graphsys's addFloat) — must never also be read or
+// written plainly. A single plain access beside atomics is a data race
+// that `-race` only reports when the interleaving happens to occur;
+// this check rejects it deterministically at lint time.
+//
+// Per package, pass 1 collects every word marked atomic by such a call
+// (the base variable of an &x, &x.f, or &x.f[i] argument, a pointer
+// passed straight through, or a slice handed to an element-atomic
+// wrapper). Pass 2 flags plain element reads/writes of marked slices,
+// plain value uses of marked scalars, and plain dereferences of marked
+// pointers. Taking an address and passing it to a non-atomic function
+// is neutral (ownership transfer the analyzer cannot see through), and
+// a declaration's own initializer is exempt — initialization before a
+// word is published is the one sanctioned plain write.
+type atomicmixAnalyzer struct{}
+
+func (atomicmixAnalyzer) Name() string { return "atomicmix" }
+func (atomicmixAnalyzer) Doc() string {
+	return "a word accessed via sync/atomic (or the repo's atomic wrappers) must not also be accessed plainly"
+}
+
+// atomicWrappers are the repo-local functions that perform atomic
+// accesses on behalf of their pointer/slice arguments. Keys are
+// qualified names: "pkgpath.Func" or "(pkgpath.Type).Method".
+var atomicWrappers = map[string]bool{
+	"powerlog/internal/agg.Load":                        true,
+	"powerlog/internal/agg.Store":                       true,
+	"(powerlog/internal/agg.Op).AtomicFold":             true,
+	"(powerlog/internal/agg.Op).AtomicExchangeIdentity": true,
+	"powerlog/internal/monotable.loadU64":               true,
+	"powerlog/internal/monotable.casU64":                true,
+	"powerlog/internal/monotable.swapWord":              true,
+	"powerlog/internal/monotable.loadWord":              true,
+	"powerlog/internal/monotable.markDirty":             true,
+	"powerlog/internal/graphsys.addFloat":               true,
+}
+
+// markKind distinguishes how a marked object's words are reached.
+type markKind int
+
+const (
+	markScalar  markKind = iota // the variable itself is the atomic word
+	markElem                    // elements of the slice/array are atomic words
+	markPointer                 // the pointee is the atomic word
+)
+
+type atomicMark struct {
+	kind markKind
+	pos  token.Pos // first atomic access, cited in findings
+}
+
+type atomicmixChecker struct {
+	pkg    *Package
+	r      *Reporter
+	marked map[types.Object]atomicMark
+}
+
+func (atomicmixAnalyzer) Check(pkg *Package, r *Reporter) {
+	c := &atomicmixChecker{pkg: pkg, r: r, marked: map[types.Object]atomicMark{}}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && c.isAtomicEntry(call) {
+				for _, arg := range call.Args {
+					c.markArg(arg)
+				}
+			}
+			return true
+		})
+	}
+	if len(c.marked) == 0 {
+		return
+	}
+	for _, file := range pkg.Files {
+		c.scan(file, false)
+	}
+}
+
+// isAtomicEntry reports whether call invokes sync/atomic or an
+// allowlisted wrapper.
+func (c *atomicmixChecker) isAtomicEntry(call *ast.CallExpr) bool {
+	fn := calleeFunc(c.pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "sync/atomic" {
+		return true
+	}
+	return atomicWrappers[qualifiedName(fn)]
+}
+
+// qualifiedName renders a function as "pkg.Func" or "(pkg.Type).Method".
+func qualifiedName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return "(" + named.Obj().Pkg().Path() + "." + named.Obj().Name() + ")." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// markArg records the object behind one atomic-call argument.
+func (c *atomicmixChecker) markArg(arg ast.Expr) {
+	e := ast.Unparen(arg)
+	addressed := false
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		addressed = true
+		e = ast.Unparen(u.X)
+	}
+	indexed := false
+	for {
+		if ie, ok := e.(*ast.IndexExpr); ok {
+			indexed = true
+			e = ast.Unparen(ie.X)
+			continue
+		}
+		break
+	}
+	obj := baseObject(c.pkg, e)
+	if obj == nil {
+		return
+	}
+	t := obj.Type()
+	var kind markKind
+	switch {
+	case indexed:
+		kind = markElem
+	case addressed:
+		kind = markScalar
+	default:
+		// Bare argument: a pointer forwarded to the wrapper, or a whole
+		// slice whose elements the wrapper treats atomically.
+		switch t.Underlying().(type) {
+		case *types.Pointer:
+			kind = markPointer
+		case *types.Slice, *types.Array:
+			kind = markElem
+		default:
+			return // a plain value copy, not an atomic word
+		}
+	}
+	if _, ok := c.marked[obj]; !ok {
+		c.marked[obj] = atomicMark{kind: kind, pos: arg.Pos()}
+	}
+}
+
+// baseObject resolves an ident or field selector to its object.
+func baseObject(pkg *Package, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// scan walks the syntax flagging plain accesses. exempt is true inside
+// contexts where reaching a marked word is sanctioned: the arguments of
+// atomic entry points, and addresses handed to other functions.
+func (c *atomicmixChecker) scan(n ast.Node, exempt bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.CallExpr:
+		c.scan(n.Fun, exempt)
+		entry := c.isAtomicEntry(n)
+		for _, arg := range n.Args {
+			argExempt := exempt
+			if entry && c.isAddrLike(arg) {
+				argExempt = true
+			} else if !entry && c.escapesAddress(arg) {
+				// &x passed to an arbitrary function: neutral transfer
+				// (e.g. monotable's foldAccCell receives the cell).
+				argExempt = true
+			}
+			c.scan(arg, argExempt)
+		}
+		return
+	case *ast.IndexExpr:
+		if obj := baseObject(c.pkg, ast.Unparen(n.X)); obj != nil {
+			if m, ok := c.marked[obj]; ok && m.kind == markElem && !exempt {
+				c.r.Reportf(n.Pos(), "plain access to element of %s, which is accessed atomically (first atomic use at line %d)",
+					obj.Name(), c.pkg.Fset.Position(m.pos).Line)
+			}
+		}
+		c.scan(n.X, exempt)
+		c.scan(n.Index, exempt)
+		return
+	case *ast.StarExpr:
+		if obj := baseObject(c.pkg, ast.Unparen(n.X)); obj != nil {
+			if m, ok := c.marked[obj]; ok && m.kind == markPointer && !exempt {
+				c.r.Reportf(n.Pos(), "plain dereference of %s, which is accessed atomically (first atomic use at line %d)",
+					obj.Name(), c.pkg.Fset.Position(m.pos).Line)
+			}
+		}
+		c.scan(n.X, exempt)
+		return
+	case *ast.SelectorExpr:
+		c.flagScalar(n.Sel, n.Pos(), exempt)
+		c.scan(n.X, exempt)
+		return
+	case *ast.Ident:
+		c.flagScalar(n, n.Pos(), exempt)
+		return
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			// The address computation itself is not a data access; what
+			// happens to the pointer decides, and the CallExpr case above
+			// already classified that.
+			c.scan(n.X, true)
+			return
+		}
+		c.scan(n.X, exempt)
+		return
+	}
+	// Generic traversal for all other nodes.
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n {
+			return true
+		}
+		switch child.(type) {
+		case *ast.CallExpr, *ast.IndexExpr, *ast.StarExpr, *ast.SelectorExpr, *ast.Ident, *ast.UnaryExpr:
+			c.scan(child, exempt)
+			return false
+		}
+		return true
+	})
+}
+
+// flagScalar reports a plain value use of a scalar-marked object.
+func (c *atomicmixChecker) flagScalar(id *ast.Ident, pos token.Pos, exempt bool) {
+	if exempt {
+		return
+	}
+	obj := c.pkg.Info.Uses[id] // Defs excluded: declarations pre-publication are sanctioned
+	if obj == nil {
+		return
+	}
+	if m, ok := c.marked[obj]; ok && m.kind == markScalar {
+		c.r.Reportf(pos, "plain access to %s, which is accessed atomically (first atomic use at line %d)",
+			obj.Name(), c.pkg.Fset.Position(m.pos).Line)
+	}
+}
+
+// isAddrLike reports whether an atomic-entry argument denotes the word
+// (or word container) rather than a plain value: &x, a pointer, or a
+// slice.
+func (c *atomicmixChecker) isAddrLike(arg ast.Expr) bool {
+	e := ast.Unparen(arg)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return true
+	}
+	if tv, ok := c.pkg.Info.Types[e]; ok && tv.Type != nil {
+		switch tv.Type.Underlying().(type) {
+		case *types.Pointer, *types.Slice, *types.Array:
+			return true
+		}
+	}
+	return false
+}
+
+// escapesAddress reports whether arg takes an address (so the callee,
+// not this site, governs how the word is accessed).
+func (c *atomicmixChecker) escapesAddress(arg ast.Expr) bool {
+	e := ast.Unparen(arg)
+	u, ok := e.(*ast.UnaryExpr)
+	return ok && u.Op == token.AND
+}
+
+// calleeFunc resolves the *types.Func a call invokes, if any.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}

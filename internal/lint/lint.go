@@ -1,0 +1,131 @@
+// Package lint is a repo-local static-analysis framework that
+// mechanically enforces the runtime's concurrency and ownership
+// invariants — the same philosophy the paper applies to user programs
+// (§3.3, §5.1: check correctness conditions with a solver instead of
+// trusting the programmer), turned on this repo's own runtime.
+//
+// The framework is stdlib-only (go/ast + go/types, no x/tools): a
+// loader parses and type-checks the whole module once (load.go), every
+// Analyzer walks the typed syntax of each package, and findings are
+// reported as file:line:col diagnostics. Two front ends share the
+// driver: `go run ./cmd/plvet ./...` (non-zero exit on any finding,
+// gating CI via `make lint` inside `make check`) and the package's own
+// tests (lint_test.go), so `go test ./...` alone also enforces the
+// invariants.
+//
+// The shipped analyzers encode contracts that the race detector can
+// only catch probabilistically, if the failing schedule happens to run:
+//
+//   - recycle:   a pooled transport.KV batch must not be touched after
+//     PutBatch or after it is handed to Send (batch.go's contract).
+//   - atomicmix: a word accessed through sync/atomic (or the repo's
+//     atomic wrappers) must never also be read or written plainly.
+//   - lockblock: no channel operation, transport Send, or time.Sleep
+//     while a sync.Mutex/RWMutex is held.
+//   - shadow:    no declaration may shadow a predeclared builtin
+//     (min/max/clear compile silently on Go ≥ 1.21 and then break any
+//     later use of the builtin in scope).
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Analyzer is one registered invariant check. Implementations must be
+// stateless across packages: Check is called once per analysis unit.
+type Analyzer interface {
+	// Name is the analyzer's short identifier (used in findings and the
+	// plvet -only flag).
+	Name() string
+	// Doc is a one-line description of the enforced invariant.
+	Doc() string
+	// Check inspects one type-checked package and reports findings.
+	Check(pkg *Package, r *Reporter)
+}
+
+// Reporter collects findings on behalf of one (package, analyzer) run.
+type Reporter struct {
+	analyzer string
+	fset     *token.FileSet
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	*r.findings = append(*r.findings, Finding{
+		Analyzer: r.analyzer,
+		Pos:      r.fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns every registered analyzer, in reporting order.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		recycleAnalyzer{},
+		atomicmixAnalyzer{},
+		lockblockAnalyzer{},
+		shadowAnalyzer{},
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection ("" = all).
+func ByName(names []string) ([]Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := map[string]Analyzer{}
+	for _, a := range all {
+		byName[a.Name()] = a
+	}
+	var out []Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every analysis unit of the module and
+// returns the findings sorted by position.
+func Run(mod *Module, analyzers []Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range mod.Pkgs {
+		for _, a := range analyzers {
+			r := &Reporter{analyzer: a.Name(), fset: mod.Fset, findings: &findings}
+			a.Check(pkg, r)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// moduleOnce loads and type-checks the repo exactly once for all tests;
+// the loader is the expensive part (it type-checks the stdlib
+// dependencies from source).
+var moduleOnce = sync.OnceValues(func() (*Module, error) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	return LoadModule(root)
+})
+
+// TestModuleClean is the same gate as `go run ./cmd/plvet ./...`: the
+// repo itself must satisfy every invariant. This keeps plain
+// `go test ./...` sufficient to enforce them.
+func TestModuleClean(t *testing.T) {
+	mod, err := moduleOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(mod, Analyzers()) {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestGoldenFixtures checks each analyzer against its seeded-violation
+// fixture under testdata/src/<name>: every `// want "regex"` line must
+// produce a matching finding, and no finding may appear on a line
+// without one.
+func TestGoldenFixtures(t *testing.T) {
+	mod, err := moduleOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Analyzers() {
+		t.Run(a.Name(), func(t *testing.T) {
+			dir, err := filepath.Abs(filepath.Join("testdata", "src", a.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := mod.CheckExtra(dir, "plvet/fixture/"+a.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var findings []Finding
+			a.Check(pkg, &Reporter{analyzer: a.Name(), fset: mod.Fset, findings: &findings})
+			if len(findings) == 0 {
+				t.Fatalf("analyzer %s produced no findings on its violation fixture", a.Name())
+			}
+
+			wants, err := parseWants(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matched := map[*want]bool{}
+			for _, f := range findings {
+				w := matchWant(wants, f)
+				if w == nil {
+					t.Errorf("unexpected finding: %s", f)
+					continue
+				}
+				matched[w] = true
+			}
+			for _, w := range wants {
+				if !matched[w] {
+					t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+func TestByNameRejectsUnknown(t *testing.T) {
+	if _, err := ByName([]string{"recycle", "nosuch"}); err == nil {
+		t.Fatal("unknown analyzer name should error")
+	}
+	as, err := ByName(nil)
+	if err != nil || len(as) != len(Analyzers()) {
+		t.Fatalf("nil selection should return all analyzers, got %d, %v", len(as), err)
+	}
+}
+
+// want is one expected-finding annotation.
+type want struct {
+	file string // absolute path
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRE matches `// want "regex"` and `// want ` + "`regex`" + “.
+var wantRE = regexp.MustCompile("// want (?:\"([^\"]*)\"|`([^`]*)`)")
+
+func parseWants(dir string) ([]*want, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path, err := filepath.Abs(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pat := m[1]
+			if pat == "" {
+				pat = m[2]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+			}
+			wants = append(wants, &want{file: path, line: i + 1, re: re})
+		}
+	}
+	return wants, nil
+}
+
+func matchWant(wants []*want, f Finding) *want {
+	for _, w := range wants {
+		if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			return w
+		}
+	}
+	return nil
+}

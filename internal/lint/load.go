@@ -1,0 +1,352 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader parses and type-checks the whole module once, with nothing
+// beyond the standard library. Module-internal imports are served from
+// the packages we type-check ourselves (in dependency order); standard
+// library imports fall back to go/importer's source importer, which
+// type-checks GOROOT packages from source and therefore needs no
+// compiled export data. cgo is disabled for that fallback so packages
+// like net resolve to their pure-Go variants — only API shapes matter
+// for analysis, not the build that would actually link.
+
+// Module is the whole repo parsed and type-checked once.
+type Module struct {
+	Root string // absolute path of the directory holding go.mod
+	Path string // module path declared in go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // analysis units in deterministic order
+
+	typed map[string]*types.Package // import path → plain (no test files) package
+	imp   types.Importer            // stdlib fallback
+}
+
+// Package is one analysis unit: a package's syntax plus type info. A
+// directory yields up to two units — the package itself (with its
+// in-package test files folded in, so test-only code is analyzed too)
+// and the external _test package when one exists.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// pkgDir is one directory's parsed syntax before type checking.
+type pkgDir struct {
+	dir        string
+	importPath string
+	base       []*ast.File // package P
+	inTest     []*ast.File // package P files from _test.go
+	extTest    []*ast.File // package P_test files
+	imports    []string    // module-internal imports of the base files
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: go.mod not found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod (first `module` line;
+// the file has no dependencies to consider).
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if p, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(p), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// LoadModule parses and type-checks every package under root.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// The source importer reads GOROOT from source; with cgo off it
+	// picks the pure-Go file sets, so no C toolchain is ever involved.
+	build.Default.CgoEnabled = false
+	mod := &Module{
+		Root:  root,
+		Path:  modPath,
+		Fset:  fset,
+		typed: map[string]*types.Package{},
+		imp:   importer.ForCompiler(fset, "source", nil),
+	}
+
+	dirs, err := mod.parseTree()
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoSort(dirs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: type-check plain packages in dependency order and
+	// register them so later packages (and test variants) can import
+	// them.
+	for _, d := range order {
+		pkg, info, err := mod.check(d.importPath, d.base)
+		if err != nil {
+			return nil, err
+		}
+		mod.typed[d.importPath] = pkg
+		if len(d.inTest) == 0 {
+			mod.Pkgs = append(mod.Pkgs, &Package{
+				ImportPath: d.importPath, Dir: d.dir, Fset: fset,
+				Files: d.base, Types: pkg, Info: info,
+			})
+		}
+	}
+	// Phase 2: test variants. A package with in-package test files is
+	// re-checked with them folded in and that variant becomes the
+	// analysis unit (each file is analyzed exactly once); external
+	// _test packages are separate units. Both may import any plain
+	// package, all of which are registered by now.
+	for _, d := range order {
+		if len(d.inTest) > 0 {
+			files := append(append([]*ast.File{}, d.base...), d.inTest...)
+			pkg, info, err := mod.check(d.importPath, files)
+			if err != nil {
+				return nil, err
+			}
+			mod.Pkgs = append(mod.Pkgs, &Package{
+				ImportPath: d.importPath, Dir: d.dir, Fset: fset,
+				Files: files, Types: pkg, Info: info,
+			})
+		}
+		if len(d.extTest) > 0 {
+			path := d.importPath + "_test"
+			pkg, info, err := mod.check(path, d.extTest)
+			if err != nil {
+				return nil, err
+			}
+			mod.Pkgs = append(mod.Pkgs, &Package{
+				ImportPath: path, Dir: d.dir, Fset: fset,
+				Files: d.extTest, Types: pkg, Info: info,
+			})
+		}
+	}
+	return mod, nil
+}
+
+// CheckExtra parses and type-checks a directory outside the module walk
+// (analyzer test fixtures under testdata) against the loaded module, so
+// fixtures can import real module packages such as internal/transport.
+func (m *Module) CheckExtra(dir, importPath string) (*Package, error) {
+	files, err := parseDir(m.Fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg, info, err := m.check(importPath, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{ImportPath: importPath, Dir: dir, Fset: m.Fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// check type-checks one file set as import path `path`.
+func (m *Module) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: (*moduleImporter)(m),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(path, m.Fset, files, info)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, len(errs))
+		for i, e := range errs {
+			if i == 8 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(errs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, nil, fmt.Errorf("lint: type-checking %s:\n\t%s", path, strings.Join(msgs, "\n\t"))
+	}
+	return pkg, info, nil
+}
+
+// moduleImporter serves module-internal packages from the loader's
+// registry and delegates everything else to the source importer.
+type moduleImporter Module
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		if pkg, ok := m.typed[path]; ok {
+			return pkg, nil
+		}
+		return nil, fmt.Errorf("lint: module package %s not loaded (import cycle or missing dir?)", path)
+	}
+	return m.imp.Import(path)
+}
+
+// parseTree walks the module and parses every package directory,
+// skipping hidden directories and testdata (fixtures deliberately
+// contain violations).
+func (m *Module) parseTree() ([]*pkgDir, error) {
+	var dirs []*pkgDir
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != m.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		files, err := parseDir(m.Fset, path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		pd := &pkgDir{dir: path, importPath: m.Path}
+		if rel, _ := filepath.Rel(m.Root, path); rel != "." {
+			pd.importPath = m.Path + "/" + filepath.ToSlash(rel)
+		}
+		for _, f := range files {
+			fname := m.Fset.Position(f.Package).Filename
+			switch {
+			case strings.HasSuffix(f.Name.Name, "_test"):
+				pd.extTest = append(pd.extTest, f)
+			case strings.HasSuffix(fname, "_test.go"):
+				pd.inTest = append(pd.inTest, f)
+			default:
+				pd.base = append(pd.base, f)
+				for _, imp := range f.Imports {
+					p := strings.Trim(imp.Path.Value, `"`)
+					if p == m.Path || strings.HasPrefix(p, m.Path+"/") {
+						pd.imports = append(pd.imports, p)
+					}
+				}
+			}
+		}
+		if len(pd.base) == 0 && len(pd.extTest) == 0 && len(pd.inTest) == 0 {
+			return nil
+		}
+		if len(pd.base) == 0 {
+			return fmt.Errorf("lint: %s has only test files", path)
+		}
+		dirs = append(dirs, pd)
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses every .go file of one directory, sorted for
+// determinism.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// topoSort orders packages so every module-internal import precedes its
+// importer, and rejects cycles.
+func topoSort(dirs []*pkgDir) ([]*pkgDir, error) {
+	byPath := map[string]*pkgDir{}
+	for _, d := range dirs {
+		byPath[d.importPath] = d
+	}
+	var order []*pkgDir
+	state := map[string]int{} // 0 unvisited, 1 in progress, 2 done
+	var visit func(d *pkgDir) error
+	visit = func(d *pkgDir) error {
+		switch state[d.importPath] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", d.importPath)
+		case 2:
+			return nil
+		}
+		state[d.importPath] = 1
+		for _, imp := range d.imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[d.importPath] = 2
+		order = append(order, d)
+		return nil
+	}
+	for _, d := range dirs {
+		if err := visit(d); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

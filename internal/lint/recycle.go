@@ -1,0 +1,507 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// recycleAnalyzer enforces the pooled-batch ownership contract of
+// internal/transport/batch.go: once a transport.KV batch is returned
+// with PutBatch, or handed to the network inside a Data message (Send
+// takes ownership; the TCP transport reorders the slice in place while
+// encoding and recycles it), the sender-side variable is dead. Any
+// later read, write, append, or second PutBatch in the same function is
+// a use-after-recycle — the bug class the race pass only catches when
+// the pool happens to reuse the batch at the wrong moment.
+//
+// The check is an intra-function, branch-sensitive textual-order
+// dataflow: a kill in one branch does not poison sibling branches, a
+// branch that terminates (return/break/continue/panic) does not leak
+// its kills past the construct, and reassigning the variable (e.g. from
+// GetBatch) revives it. Closures are analyzed as separate functions.
+type recycleAnalyzer struct{}
+
+func (recycleAnalyzer) Name() string { return "recycle" }
+func (recycleAnalyzer) Doc() string {
+	return "no use of a transport.KV batch after PutBatch or after handing it to Send"
+}
+
+const transportPath = "powerlog/internal/transport"
+
+func (recycleAnalyzer) Check(pkg *Package, r *Reporter) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					newRecycleChecker(pkg, r).stmts(n.Body.List)
+				}
+				return false
+			case *ast.FuncLit: // package-level var initializers
+				newRecycleChecker(pkg, r).stmts(n.Body.List)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// batchKey identifies a tracked batch: a []transport.KV variable
+// (field == "") or the KVs field of a transport.Message variable.
+type batchKey struct {
+	obj   types.Object
+	field string
+}
+
+// killSite records how and where a batch died.
+type killSite struct {
+	verb string // "PutBatch" or "Send"
+	pos  token.Pos
+}
+
+type recycleChecker struct {
+	pkg    *Package
+	r      *Reporter
+	dead   map[batchKey]killSite
+	noKill bool // inside defer: args are evaluated now, but the call runs later
+}
+
+func newRecycleChecker(pkg *Package, r *Reporter) *recycleChecker {
+	return &recycleChecker{pkg: pkg, r: r, dead: map[batchKey]killSite{}}
+}
+
+// stmts processes a statement list in textual order.
+func (c *recycleChecker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *recycleChecker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.expr(rhs)
+		}
+		for _, lhs := range s.Lhs {
+			c.assignTo(lhs)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+		// A message sent on a channel changes hands like Send: its batch
+		// is no longer the sender's.
+		c.killMessageExpr(s.Value, "Send", s.Arrow)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.expr(s.Cond)
+		pre := c.dead
+		merged := cloneKeys(pre)
+		c.dead = cloneKeys(pre)
+		c.stmts(s.Body.List)
+		mergeBranch(merged, c.dead, terminates(s.Body.List))
+		if s.Else != nil {
+			c.dead = cloneKeys(pre)
+			c.stmt(s.Else)
+			term := false
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				term = terminates(blk.List)
+			}
+			mergeBranch(merged, c.dead, term)
+		}
+		c.dead = merged
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		pre := c.dead
+		merged := cloneKeys(pre)
+		c.dead = cloneKeys(pre)
+		c.stmts(s.Body.List)
+		if s.Post != nil {
+			c.stmt(s.Post)
+		}
+		mergeBranch(merged, c.dead, false)
+		c.dead = merged
+	case *ast.RangeStmt:
+		c.expr(s.X)
+		pre := c.dead
+		merged := cloneKeys(pre)
+		c.dead = cloneKeys(pre)
+		// The loop variables are freshly bound each iteration.
+		c.assignTo(s.Key)
+		c.assignTo(s.Value)
+		c.stmts(s.Body.List)
+		mergeBranch(merged, c.dead, false)
+		c.dead = merged
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		c.caseClauses(s.Body.List)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.caseClauses(s.Body.List)
+	case *ast.SelectStmt:
+		pre := c.dead
+		merged := cloneKeys(pre)
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			c.dead = cloneKeys(pre)
+			if cc.Comm != nil {
+				c.stmt(cc.Comm)
+			}
+			c.stmts(cc.Body)
+			mergeBranch(merged, c.dead, terminates(cc.Body))
+		}
+		c.dead = merged
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	case *ast.DeferStmt:
+		// Defer evaluates arguments now but runs the call at return, so
+		// uses are checked while kills are suppressed.
+		saved := c.noKill
+		c.noKill = true
+		c.expr(s.Call)
+		c.noKill = saved
+	case *ast.GoStmt:
+		saved := c.noKill
+		c.noKill = true
+		c.expr(s.Call)
+		c.noKill = saved
+	}
+}
+
+func (c *recycleChecker) caseClauses(clauses []ast.Stmt) {
+	pre := c.dead
+	merged := cloneKeys(pre)
+	for _, cl := range clauses {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		c.dead = cloneKeys(pre)
+		for _, e := range cc.List {
+			c.expr(e)
+		}
+		c.stmts(cc.Body)
+		mergeBranch(merged, c.dead, terminates(cc.Body))
+	}
+	c.dead = merged
+}
+
+// mergeBranch propagates kills discovered in a branch into the merged
+// post-construct state, unless the branch cannot fall through.
+func mergeBranch(merged, branch map[batchKey]killSite, terminated bool) {
+	if terminated {
+		return
+	}
+	for k, v := range branch {
+		if _, ok := merged[k]; !ok {
+			merged[k] = v
+		}
+	}
+}
+
+func cloneKeys(m map[batchKey]killSite) map[batchKey]killSite {
+	out := make(map[batchKey]killSite, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// terminates reports whether a statement list always leaves the
+// enclosing construct (so its kills cannot reach the code after it).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch s := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// assignTo revives a batch when its variable is wholly reassigned;
+// anything else on the left-hand side (kvs[i] = ..., for instance) is a
+// use of the existing storage.
+func (c *recycleChecker) assignTo(lhs ast.Expr) {
+	switch lhs := lhs.(type) {
+	case nil:
+	case *ast.Ident:
+		if obj := c.objOf(lhs); obj != nil {
+			delete(c.dead, batchKey{obj, ""})
+			delete(c.dead, batchKey{obj, "KVs"})
+		}
+	case *ast.SelectorExpr:
+		if key, ok := c.kvsSelector(lhs); ok {
+			delete(c.dead, key)
+			return
+		}
+		c.expr(lhs)
+	default:
+		c.expr(lhs)
+	}
+}
+
+// expr scans an expression for uses of dead batches and applies the
+// ownership-transfer kills of calls and message literals.
+func (c *recycleChecker) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident:
+		c.useIdent(e)
+	case *ast.SelectorExpr:
+		if key, ok := c.kvsSelector(e); ok {
+			if ks, dead := c.dead[key]; dead {
+				c.report(e.Pos(), types.ExprString(e), ks)
+			}
+			return
+		}
+		c.expr(e.X)
+	case *ast.CallExpr:
+		c.call(e)
+	case *ast.FuncLit:
+		// A closure gets its own dataflow; cross-closure tracking would
+		// need escape analysis the contract does not require.
+		newRecycleChecker(c.pkg, c.r).stmts(e.Body.List)
+	case *ast.UnaryExpr:
+		c.expr(e.X)
+	case *ast.BinaryExpr:
+		c.expr(e.X)
+		c.expr(e.Y)
+	case *ast.ParenExpr:
+		c.expr(e.X)
+	case *ast.StarExpr:
+		c.expr(e.X)
+	case *ast.IndexExpr:
+		c.expr(e.X)
+		c.expr(e.Index)
+	case *ast.SliceExpr:
+		c.expr(e.X)
+		c.expr(e.Low)
+		c.expr(e.High)
+		c.expr(e.Max)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X)
+	case *ast.KeyValueExpr:
+		c.expr(e.Value)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			c.expr(el)
+		}
+	}
+}
+
+// call scans a call's operands and then applies its kills: PutBatch
+// recycles its argument, Send/TrySend consume a message (and with it
+// the message's KVs), and any call taking a transport.Message literal
+// built around a batch takes ownership of that batch (worker.enqueue
+// and the transports themselves all forward to Send).
+func (c *recycleChecker) call(call *ast.CallExpr) {
+	c.expr(call.Fun)
+	for _, arg := range call.Args {
+		c.expr(arg)
+	}
+	if c.noKill {
+		return
+	}
+	fn := c.callee(call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == transportPath && fn.Name() == "PutBatch" &&
+		fn.Type().(*types.Signature).Recv() == nil && len(call.Args) == 1 {
+		c.killBatchExpr(call.Args[0], "PutBatch", call.Pos())
+		return
+	}
+	isSend := fn != nil && fn.Type().(*types.Signature).Recv() != nil &&
+		(fn.Name() == "Send" || fn.Name() == "TrySend")
+	for _, arg := range call.Args {
+		c.killMessageExpr(arg, "Send", call.Pos())
+		if isSend {
+			if id, ok := arg.(*ast.Ident); ok && c.isMessage(c.typeOf(id)) {
+				if obj := c.objOf(id); obj != nil {
+					c.dead[batchKey{obj, "KVs"}] = killSite{"Send", call.Pos()}
+				}
+			}
+		}
+	}
+}
+
+// killBatchExpr marks the batch behind e (an identifier or a
+// Message.KVs selector) dead.
+func (c *recycleChecker) killBatchExpr(e ast.Expr, verb string, pos token.Pos) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := c.objOf(e); obj != nil && c.isKVSlice(obj.Type()) {
+			c.dead[batchKey{obj, ""}] = killSite{verb, pos}
+		}
+	case *ast.SelectorExpr:
+		if key, ok := c.kvsSelector(e); ok {
+			c.dead[key] = killSite{verb, pos}
+		}
+	}
+}
+
+// killMessageExpr kills the KVs batch inside a transport.Message
+// composite literal (possibly &-ed) used as a call argument or channel
+// send value.
+func (c *recycleChecker) killMessageExpr(e ast.Expr, verb string, pos token.Pos) {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok || !c.isMessage(c.typeOf(lit)) {
+		if id, isIdent := e.(*ast.Ident); isIdent && c.isMessage(c.typeOf(id)) {
+			return // bare Message ident: killed only by Send/TrySend (see call)
+		}
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "KVs" {
+			continue
+		}
+		c.killBatchExpr(kv.Value, verb, pos)
+	}
+}
+
+func (c *recycleChecker) useIdent(id *ast.Ident) {
+	obj := c.pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	if ks, dead := c.dead[batchKey{obj, ""}]; dead {
+		c.report(id.Pos(), id.Name, ks)
+	}
+}
+
+func (c *recycleChecker) report(pos token.Pos, name string, ks killSite) {
+	c.r.Reportf(pos, "batch %s used after %s (recycled at line %d); copy KVs out before recycling",
+		name, ks.verb, c.pkg.Fset.Position(ks.pos).Line)
+}
+
+// kvsSelector matches m.KVs where m is a transport.Message variable.
+func (c *recycleChecker) kvsSelector(sel *ast.SelectorExpr) (batchKey, bool) {
+	if sel.Sel.Name != "KVs" {
+		return batchKey{}, false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || !c.isMessage(c.typeOf(id)) {
+		return batchKey{}, false
+	}
+	obj := c.objOf(id)
+	if obj == nil {
+		return batchKey{}, false
+	}
+	return batchKey{obj, "KVs"}, true
+}
+
+func (c *recycleChecker) objOf(id *ast.Ident) types.Object {
+	if obj := c.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return c.pkg.Info.Defs[id]
+}
+
+func (c *recycleChecker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := c.objOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func (c *recycleChecker) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isKVSlice reports whether t is []transport.KV.
+func (c *recycleChecker) isKVSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isNamed(sl.Elem(), transportPath, "KV")
+}
+
+// isMessage reports whether t is transport.Message or *transport.Message.
+func (c *recycleChecker) isMessage(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isNamed(t, transportPath, "Message")
+}
+
+func isNamed(t types.Type, path, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// shadowAnalyzer forbids declarations that shadow predeclared builtins.
+// Shadowing min/max/clear compiles silently on Go ≥ 1.21 but breaks any
+// later use of the builtin in the same scope — exactly the bug class
+// the adaptive-β code once hit (β clamp locals named max and floor hid
+// the builtins; see flush.go's betaFloor/betaCeil fields).
+type shadowAnalyzer struct{}
+
+func (shadowAnalyzer) Name() string { return "shadow" }
+func (shadowAnalyzer) Doc() string {
+	return "no declaration may shadow a predeclared builtin (min/max/clear/...)"
+}
+
+// predeclared is every identifier a local declaration must not shadow.
+var predeclared = map[string]bool{
+	"append": true, "cap": true, "clear": true, "close": true,
+	"complex": true, "copy": true, "delete": true, "imag": true,
+	"len": true, "make": true, "max": true, "min": true, "new": true,
+	"panic": true, "print": true, "println": true, "real": true,
+	"recover": true,
+}
+
+func (shadowAnalyzer) Check(pkg *Package, r *Reporter) {
+	flag := func(id *ast.Ident) {
+		if id != nil && predeclared[id.Name] {
+			r.Reportf(id.Pos(), "declaration shadows builtin %q", id.Name)
+		}
+	}
+	flagFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				flag(n)
+			}
+		}
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							flag(id)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, id := range n.Names {
+					flag(id)
+				}
+			case *ast.FuncDecl:
+				// Methods live in the selector namespace and cannot shadow
+				// a builtin; only package-level function names can.
+				if n.Recv == nil {
+					flag(n.Name)
+				}
+				flagFields(n.Recv)
+				flagFields(n.Type.Params)
+				flagFields(n.Type.Results)
+			case *ast.FuncLit:
+				flagFields(n.Type.Params)
+				flagFields(n.Type.Results)
+			case *ast.RangeStmt:
+				if n.Tok == token.DEFINE {
+					if id, ok := n.Key.(*ast.Ident); ok {
+						flag(id)
+					}
+					if id, ok := n.Value.(*ast.Ident); ok {
+						flag(id)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				if a, ok := n.Assign.(*ast.AssignStmt); ok && a.Tok == token.DEFINE {
+					if id, ok := a.Lhs[0].(*ast.Ident); ok {
+						flag(id)
+					}
+				}
+			case *ast.TypeSpec:
+				flag(n.Name)
+			}
+			return true
+		})
+	}
+}

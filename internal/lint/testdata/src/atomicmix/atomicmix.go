@@ -1,0 +1,51 @@
+// Package fixture seeds mixed atomic/plain accesses for the atomicmix
+// analyzer's golden test.
+package fixture
+
+import (
+	"sync/atomic"
+
+	"powerlog/internal/agg"
+)
+
+type counter struct {
+	hits uint64
+	acc  []uint64
+	name string
+}
+
+func (c *counter) bump()         { atomic.AddUint64(&c.hits, 1) }
+func (c *counter) fetch() uint64 { return atomic.LoadUint64(&c.hits) }
+
+func (c *counter) mixedScalar() uint64 {
+	return c.hits // want "plain access to hits"
+}
+
+func (c *counter) mixedWrite() {
+	c.hits = 0 // want "plain access to hits"
+}
+
+func (c *counter) foldCell(op *agg.Op, i int, v float64) {
+	op.AtomicFold(&c.acc[i], v)
+}
+
+func (c *counter) mixedElem(i int) uint64 {
+	return c.acc[i] // want "plain access to element of acc"
+}
+
+// cleanRead must stay silent: the element is read through the atomic
+// wrapper, exactly as the contract demands.
+func (c *counter) cleanRead(i int) float64 {
+	return agg.Load(&c.acc[i])
+}
+
+// cleanField must stay silent: name is never accessed atomically.
+func (c *counter) cleanField() string { return c.name }
+
+// handoff must stay silent: taking the cell's address and passing it to
+// an arbitrary function transfers responsibility to the callee.
+func handoff(c *counter, i int) {
+	addOne(&c.acc[i])
+}
+
+func addOne(p *uint64) { atomic.AddUint64(p, 1) }

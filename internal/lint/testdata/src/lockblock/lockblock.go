@@ -1,0 +1,69 @@
+// Package fixture seeds blocking-under-mutex violations for the
+// lockblock analyzer's golden test.
+package fixture
+
+import (
+	"sync"
+	"time"
+
+	"powerlog/internal/transport"
+)
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	n  int
+}
+
+func (b *box) sendUnderLock(v int) {
+	b.mu.Lock()
+	b.ch <- v // want "channel send while b.mu is held"
+	b.mu.Unlock()
+}
+
+func (b *box) sleepUnderDeferredLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while b.mu is held`
+}
+
+func (b *box) recvUnderRLock() int {
+	b.rw.RLock()
+	v := <-b.ch // want "channel receive while b.rw is held"
+	b.rw.RUnlock()
+	return v
+}
+
+func (b *box) selectUnderLock() {
+	b.mu.Lock()
+	select { // want "select while b.mu is held"
+	case v := <-b.ch:
+		b.n = v
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func sendMessageUnderLock(c transport.Conn, mu *sync.Mutex) {
+	mu.Lock()
+	_ = c.Send(0, transport.Message{Kind: transport.Stop}) // want "transport Send while mu is held"
+	mu.Unlock()
+}
+
+// clean must stay silent: the critical section only touches memory, and
+// the channel operation happens after Unlock.
+func (b *box) clean(v int) {
+	b.mu.Lock()
+	b.n = v
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// goroutineClean must stay silent: the literal runs on its own
+// goroutine, not under the caller's lock at this textual point.
+func (b *box) goroutineClean(v int) {
+	b.mu.Lock()
+	go func() { b.ch <- v }()
+	b.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+// Package fixture seeds violations of the batch-recycle contract for
+// the recycle analyzer's golden test. Each want-annotated line must be
+// flagged with a matching message; every other line must stay silent.
+package fixture
+
+import "powerlog/internal/transport"
+
+func useAfterPut() float64 {
+	kvs := transport.GetBatch(4)
+	kvs = append(kvs, transport.KV{K: 1, V: 2})
+	transport.PutBatch(kvs)
+	return kvs[0].V // want "batch kvs used after PutBatch"
+}
+
+func doublePut(kvs []transport.KV) {
+	transport.PutBatch(kvs)
+	transport.PutBatch(kvs) // want "batch kvs used after PutBatch"
+}
+
+func useAfterSend(c transport.Conn, kvs []transport.KV) int {
+	_ = c.Send(1, transport.Message{Kind: transport.Data, KVs: kvs})
+	return len(kvs) // want "batch kvs used after Send"
+}
+
+func messageAfterSend(c transport.Conn, m transport.Message) int {
+	_ = c.Send(1, m)
+	return len(m.KVs) // want `batch m.KVs used after Send`
+}
+
+func channelHandoff(out chan transport.Message, kvs []transport.KV) {
+	out <- transport.Message{Kind: transport.Data, KVs: kvs}
+	kvs = kvs[:0] // want "batch kvs used after Send"
+	_ = kvs
+}
+
+// siblingBranches must stay silent: the kill in the Data case must not
+// poison the EndPhase case, which handles a different message.
+func siblingBranches(m transport.Message) int {
+	switch m.Kind {
+	case transport.Data:
+		transport.PutBatch(m.KVs)
+		return 1
+	case transport.EndPhase:
+		return len(m.KVs)
+	}
+	return 0
+}
+
+// revive must stay silent: reassigning the variable gives it a fresh
+// batch, and the earlier recycle no longer applies.
+func revive() {
+	kvs := transport.GetBatch(2)
+	transport.PutBatch(kvs)
+	kvs = transport.GetBatch(8)
+	kvs = append(kvs, transport.KV{K: 3, V: 4})
+	transport.PutBatch(kvs)
+}
+
+// nilOut must stay silent: codec-style `recycle then clear the field`
+// revives m.KVs before anyone reads it.
+func nilOut(m *transport.Message) {
+	transport.PutBatch(m.KVs)
+	m.KVs = nil
+	_ = len(m.KVs)
+}

@@ -1,0 +1,35 @@
+// Package fixture seeds builtin-shadowing declarations for the shadow
+// analyzer's golden test.
+package fixture
+
+func shadowedLocals(vals []float64) float64 {
+	min := vals[0] // want "declaration shadows builtin"
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+func shadowedParam(max int) int { // want "declaration shadows builtin"
+	return max + 1
+}
+
+type clear struct{} // want "declaration shadows builtin"
+
+func useClear() clear { return clear{} }
+
+// clean must stay silent: lo/hi do not collide with any builtin.
+func clean(vals []int) (int, int) {
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -92,20 +92,26 @@ func tcpTrio(t *testing.T) (*TCPConn, *TCPConn, *TCPConn) {
 		t.Fatal(err)
 	}
 	addrs := []string{w0.Addr(), w1.Addr(), m.Addr()}
-	w0.addrs, w1.addrs, m.addrs = addrs, addrs, addrs
+	w0.SetAddressBook(addrs)
+	w1.SetAddressBook(addrs)
+	m.SetAddressBook(addrs)
 	t.Cleanup(func() { w0.Close(); w1.Close(); m.Close() })
 	return w0, w1, m
 }
 
 func TestTCPRoundTrip(t *testing.T) {
 	w0, w1, master := tcpTrio(t)
+	// Send takes ownership of the KV slice (the TCP path sorts it in
+	// place and recycles it), so keep an independent copy to assert on.
 	kvs := []KV{{K: 1, V: 2.5}, {K: 9, V: -3}}
+	want := make([]KV, len(kvs))
+	copy(want, kvs)
 	if err := w0.Send(1, Message{Kind: Data, Round: 4, KVs: kvs}); err != nil {
 		t.Fatal(err)
 	}
 	select {
 	case m := <-w1.Inbox():
-		if m.Kind != Data || m.From != 0 || m.Round != 4 || len(m.KVs) != 2 || m.KVs[1] != kvs[1] {
+		if m.Kind != Data || m.From != 0 || m.Round != 4 || len(m.KVs) != 2 || m.KVs[1] != want[1] {
 			t.Fatalf("got %+v", m)
 		}
 	case <-time.After(2 * time.Second):
