@@ -1,8 +1,11 @@
 # Tier-1 verification for this repo: `make check` is what CI
 # (.github/workflows/ci.yml) and the ROADMAP's verify step run. The race
 # pass covers the packages on the zero-allocation message path (combiner
-# → pooled batches → codec → MonoTable fold) plus checkpointing, where a
-# recycle-contract violation would surface as a data race. `make lint`
+# → pooled batches → codec → MonoTable fold) plus checkpointing and
+# fault injection, where a recycle-contract violation would surface as a
+# data race; it runs -short, which trims the chaos matrix
+# (internal/runtime/chaos_test.go) to its representative algorithm
+# subset — the full matrix runs race-free under `make test`. `make lint`
 # runs the repo-local static analyzers of internal/lint (cmd/plvet):
 # recycle, atomicmix, lockblock, shadow — the same checks also run under
 # `go test ./internal/lint`, so plain `go test ./...` enforces them too.
@@ -23,7 +26,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/runtime/... ./internal/transport/... ./internal/monotable/... ./internal/ckpt/...
+	go test -race -short ./internal/runtime/... ./internal/transport/... ./internal/monotable/... ./internal/ckpt/... ./internal/fault/...
 
 # Hot-path microbenches with allocation counts (BENCH_PR1.json records
 # the tracked numbers).

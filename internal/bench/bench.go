@@ -15,6 +15,7 @@ import (
 	"powerlog/internal/analyzer"
 	"powerlog/internal/compiler"
 	"powerlog/internal/edb"
+	"powerlog/internal/fault"
 	"powerlog/internal/gen"
 	"powerlog/internal/graph"
 	"powerlog/internal/parser"
@@ -161,6 +162,18 @@ type RunConfig struct {
 
 	// Staleness is the MRASSP superstep bound (0 = runtime default).
 	Staleness int
+
+	// Faults is a fault-injection spec (fault.ParseSpec syntax, e.g.
+	// "seed=42,sendfail=0.1,stall=5:300us") applied to every engine run;
+	// empty disables injection. The recovery experiment sets it per run.
+	Faults string
+
+	// Checkpoint plumbing for the recovery experiment: SnapshotDir and
+	// SnapshotEvery enable periodic checkpoints, RestoreDir warm-starts
+	// the run from an earlier run's snapshots.
+	SnapshotDir   string
+	SnapshotEvery int
+	RestoreDir    string
 }
 
 func (c RunConfig) orDefaults() RunConfig {
@@ -210,6 +223,16 @@ func RunMode(w *Workload, mode runtime.Mode, cfg RunConfig) (Measurement, error)
 		PriorityThreshold: cfg.PriorityThreshold,
 		OrderedScan:       cfg.OrderedScan,
 		Staleness:         cfg.Staleness,
+		SnapshotDir:       cfg.SnapshotDir,
+		SnapshotEvery:     cfg.SnapshotEvery,
+		RestoreDir:        cfg.RestoreDir,
+	}
+	if cfg.Faults != "" {
+		spec, err := fault.ParseSpec(cfg.Faults)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("bench: -faults: %w", err)
+		}
+		rc.Fault = fault.New(spec)
 	}
 	if !cfg.PerfectNetwork {
 		rc.Network = runtime.NetworkProfile{KVsPerSecond: 10e6}

@@ -236,6 +236,50 @@ func TestRunModeSSPTiny(t *testing.T) {
 	}
 }
 
+func TestRunModeFaultsTiny(t *testing.T) {
+	d := tinyDataset()
+	wl, err := Prepare("SSSP", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg()
+	cfg.Faults = "seed=3,sendfail=0.1,stall=4:200us"
+	m, err := RunMode(wl, runtime.MRASyncAsync, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Converged {
+		t.Error("faulted run did not converge")
+	}
+	cfg.Faults = "bogus"
+	if _, err := RunMode(wl, runtime.MRASyncAsync, cfg); err == nil {
+		t.Error("malformed fault spec should fail the run, not be ignored")
+	}
+}
+
+func TestRecoveryExperimentTiny(t *testing.T) {
+	var buf bytes.Buffer
+	ms, err := recoveryOn(&buf, fastCfg(), tinyDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 algorithms x 3 modes x {clean, crashed, restored}.
+	if len(ms) != 18 {
+		t.Fatalf("expected 18 measurements, got %d", len(ms))
+	}
+	for _, m := range ms {
+		if strings.HasSuffix(m.Series, "/crashed") {
+			continue // aborted by the injected master crash (or beat it)
+		}
+		if !m.Converged {
+			t.Errorf("%s %s did not converge", m.Algo, m.Series)
+		}
+	}
+	if !strings.Contains(buf.String(), "refixpoint=") {
+		t.Errorf("report missing time-to-refixpoint:\n%s", buf.String())
+	}
+}
+
 func TestBetaFinalSurfaced(t *testing.T) {
 	// The unified mode on a combining aggregate must surface a β value;
 	// a selective one must not.

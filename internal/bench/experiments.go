@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"time"
 
@@ -17,7 +18,7 @@ import (
 // paper figure: it sweeps this implementation's own design knobs
 // (DESIGN.md §5) — the delta-stepping-style ordered scan and the §5.4
 // priority threshold.
-var Experiments = []string{"table1", "table2", "fig1", "fig9", "fig10", "fig11", "ablation", "ssp", "extra"}
+var Experiments = []string{"table1", "table2", "fig1", "fig9", "fig10", "fig11", "ablation", "ssp", "extra", "recovery"}
 
 // RunExperiment dispatches by experiment id and writes the rows to w.
 func RunExperiment(id string, w io.Writer, cfg RunConfig) error {
@@ -46,6 +47,9 @@ func RunExperiment(id string, w io.Writer, cfg RunConfig) error {
 		return err
 	case "extra":
 		_, err := Extra(w, cfg)
+		return err
+	case "recovery":
+		_, err := Recovery(w, cfg)
 		return err
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (have %v)", id, Experiments)
@@ -411,6 +415,72 @@ func SSP(w io.Writer, cfg RunConfig) ([]Measurement, error) {
 		m.Series = fmt.Sprintf("staleness=%d", s)
 		out = append(out, m)
 		report("SSSP", "LiveJ", m)
+	}
+	return out, nil
+}
+
+// Recovery measures crash recovery: for one selective workload (SSSP —
+// restored from uncoordinated stale snapshots, Theorem 3) and one
+// combining workload (PageRank — restored from consistent cuts: BSP
+// barrier snapshots or async/SSP marker episodes), each mode runs three
+// times: clean, crashed mid-run with checkpointing on, and restarted
+// from the crashed run's snapshot directory. The headline number is the
+// time-to-refixpoint: the restart's wall time relative to the clean run.
+func Recovery(w io.Writer, cfg RunConfig) ([]Measurement, error) {
+	d, err := gen.DatasetByName("LiveJ")
+	if err != nil {
+		return nil, err
+	}
+	return recoveryOn(w, cfg, d)
+}
+
+func recoveryOn(w io.Writer, cfg RunConfig, d gen.Dataset) ([]Measurement, error) {
+	fmt.Fprintf(w, "Recovery: crash mid-run with checkpoints on, restart, time to re-fixpoint\n")
+	modes := []runtime.Mode{runtime.MRASync, runtime.MRASyncAsync, runtime.MRASSP}
+	var out []Measurement
+	for _, algo := range []string{"SSSP", "PageRank"} {
+		wl, err := Prepare(algo, d)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range modes {
+			clean, err := RunMode(wl, mode, cfg)
+			if err != nil {
+				return nil, err
+			}
+			clean.Series = mode.String() + "/clean"
+			out = append(out, clean)
+
+			dir, err := os.MkdirTemp("", "plbench-recovery-*")
+			if err != nil {
+				return nil, err
+			}
+			crashCfg := cfg
+			crashCfg.SnapshotDir = dir
+			crashCfg.SnapshotEvery = 1
+			crashCfg.Faults = "seed=7,crash=6"
+			crashed, err := RunMode(wl, mode, crashCfg)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			crashed.Series = mode.String() + "/crashed"
+			out = append(out, crashed)
+
+			restoreCfg := cfg
+			restoreCfg.RestoreDir = dir
+			restored, err := RunMode(wl, mode, restoreCfg)
+			os.RemoveAll(dir)
+			if err != nil {
+				return nil, err
+			}
+			restored.Series = mode.String() + "/restored"
+			out = append(out, restored)
+
+			fmt.Fprintf(w, "  %-9s %-6s %-14s clean=%7.3fs  crashed@round=%-3d  refixpoint=%7.3fs (%.2fx clean, converged=%v)\n",
+				algo, d.Name, mode.String(), clean.Seconds, crashed.Rounds,
+				restored.Seconds, restored.Seconds/clean.Seconds, restored.Converged)
+		}
 	}
 	return out, nil
 }

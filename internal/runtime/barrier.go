@@ -2,6 +2,7 @@ package runtime
 
 import (
 	stdruntime "runtime"
+	"time"
 
 	"powerlog/internal/transport"
 )
@@ -35,12 +36,8 @@ func (b *bspBarrier) beginPass(w *worker) bool {
 
 func (b *bspBarrier) endPass(w *worker, _ bool) bool {
 	w.flushAll()
-	for j := 0; j < w.nw; j++ {
-		if j != w.id {
-			w.enqueue(j, transport.Message{Kind: transport.EndPhase})
-		}
-	}
-	w.awaitEndPhases()
+	w.broadcastEndPhase(w.rounds)
+	w.awaitPeerRounds(w.rounds)
 	if w.stopped {
 		return false
 	}
@@ -56,7 +53,9 @@ func (b *bspBarrier) endPass(w *worker, _ bool) bool {
 		w.accDelta = 0
 		stats.Dirty = w.table.HasDirty()
 		if w.cfg.SnapshotDir != "" && w.cfg.SnapshotEvery > 0 && w.rounds%w.cfg.SnapshotEvery == 0 {
-			_ = w.snapshot() // fault tolerance is best-effort; the run itself must not fail
+			// A BSP barrier is a consistent cut: no messages in flight.
+			// Fault tolerance is best-effort; the run itself must not fail.
+			_ = w.snapshot(w.rounds, true)
 		}
 	}
 	stats.Sent, stats.Recv = w.sent, w.recv
@@ -76,6 +75,10 @@ func (freeRun) setup(*worker) {}
 func (freeRun) beginPass(w *worker) bool { return w.drainInbox() }
 
 func (freeRun) endPass(w *worker, progressed bool) bool {
+	// A pass boundary is the async family's snapshot safe point: join a
+	// pending marker episode (combining aggregates) or write a local
+	// stale snapshot (selective aggregates, Theorem 3).
+	w.maybeSnapshot()
 	if progressed {
 		// Only productive passes count as effective iterations (the
 		// ε gating and the system-level cap both key off them).
@@ -84,6 +87,7 @@ func (freeRun) endPass(w *worker, progressed bool) bool {
 		// the comm goroutines) are never starved by spinning compute.
 		stdruntime.Gosched()
 	}
+	w.maybeStaleSnapshot(int(w.passes))
 	w.timedFlush()
 	if progressed {
 		w.pol.sched.rearm()
@@ -99,32 +103,65 @@ func (freeRun) endPass(w *worker, progressed bool) bool {
 	return true
 }
 
-// awaitEndPhases blocks until EndPhase markers from all other workers
-// arrive (data sent before a marker is already applied by then, thanks
-// to per-pair ordering).
-func (w *worker) awaitEndPhases() {
-	need := w.nw - 1
-	for w.endPhases < need && !w.stopped {
-		m, ok := <-w.conn.Inbox()
-		if !ok {
-			w.stopped = true
-			return
+// markerResend is how long a worker blocks on its inbox before
+// retransmitting its own EndPhase marker. Markers ride the data lane and
+// can be lost to faults; because the receiver keeps the max of announced
+// rounds, a retransmission is always safe.
+const markerResend = 3 * time.Millisecond
+
+// broadcastEndPhase fences this superstep's data with round-stamped
+// markers (data lane, so per-pair ordering guarantees the data lands
+// before the marker).
+func (w *worker) broadcastEndPhase(round int) {
+	for j := 0; j < w.nw; j++ {
+		if j != w.id {
+			w.enqueue(j, transport.Message{Kind: transport.EndPhase, Round: round})
 		}
-		w.handle(m)
 	}
-	w.endPhases -= need
+}
+
+// awaitPeerRounds blocks until every peer has announced completion of at
+// least the given round (data sent before a marker is already applied by
+// then, thanks to per-pair ordering). If the wait stalls — a marker was
+// lost — the worker retransmits its own marker so a peer blocked on THIS
+// worker's lost marker unblocks, announces its round, and unblocks us.
+func (w *worker) awaitPeerRounds(round int) {
+	for w.minPeerSteps() < round && !w.stopped && !w.sendDead.Load() {
+		select {
+		case m, ok := <-w.conn.Inbox():
+			if !ok {
+				w.stopped = true
+				return
+			}
+			w.handle(m)
+		case <-time.After(markerResend):
+			w.broadcastEndPhase(round)
+		}
+	}
 }
 
 // awaitVerdict blocks for the master's Continue/Stop and reports whether
-// to run another superstep.
+// to run another superstep. A stalled wait retransmits this worker's
+// marker: the worker whose marker was dropped is still stuck in
+// awaitPeerRounds and cannot reach the master, so the already-idle
+// workers are the ones that must heal the barrier.
 func (w *worker) awaitVerdict() bool {
 	for !w.verdictSet {
-		m, ok := <-w.conn.Inbox()
-		if !ok {
-			w.stopped = true
-			return false
+		select {
+		case m, ok := <-w.conn.Inbox():
+			if !ok {
+				w.stopped = true
+				return false
+			}
+			w.handle(m)
+		case <-time.After(markerResend):
+			if w.sendDead.Load() {
+				return false
+			}
+			if w.rounds > 0 {
+				w.broadcastEndPhase(w.rounds)
+			}
 		}
-		w.handle(m)
 	}
 	w.verdictSet = false
 	return w.verdict == transport.Continue && !w.stopped

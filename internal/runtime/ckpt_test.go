@@ -42,9 +42,10 @@ func TestCheckpointRestoreEquivalence(t *testing.T) {
 	if !res1.Converged {
 		t.Fatal("phase 1 did not converge")
 	}
-	shards, _ := filepath.Glob(filepath.Join(dir, "shard-*.plck"))
-	if len(shards) != 3 {
-		t.Fatalf("expected 3 shard snapshots, got %v", shards)
+	// Epoch-stamped shards, pruned to the newest two epochs per worker.
+	shards, _ := filepath.Glob(filepath.Join(dir, "ep*-shard-*.plck"))
+	if len(shards) != 6 {
+		t.Fatalf("expected 2 epochs x 3 shard snapshots, got %v", shards)
 	}
 
 	// Phase 2: "crash" and resume from the snapshots with a different
@@ -142,12 +143,15 @@ func TestSnapshotRowsCaptureIntermediates(t *testing.T) {
 	w.table.FoldAcc(5, 2.5)
 	dir := t.TempDir()
 	w.cfg.SnapshotDir = dir
-	if err := w.snapshot(); err != nil {
+	if err := w.snapshot(1, true); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := ckpt.LoadAll(dir)
+	rows, meta, err := ckpt.LoadAll(dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if meta.Epoch != 1 || !meta.Cut {
+		t.Fatalf("meta round trip: %+v", meta)
 	}
 	byKey := map[int64]ckpt.Row{}
 	for _, r := range rows {

@@ -13,6 +13,8 @@ package runtime
 
 import (
 	"time"
+
+	"powerlog/internal/fault"
 )
 
 // Mode selects the evaluation strategy.
@@ -88,15 +90,31 @@ type Config struct {
 	// MaxWall aborts a run after this long (default 2 minutes).
 	MaxWall time.Duration
 
-	// SnapshotDir enables checkpointing (MRASync mode only): each worker
-	// writes its shard at every SnapshotEvery-th barrier — a consistent
-	// cut, since no messages are in flight at a barrier.
+	// SnapshotDir enables checkpointing for every MRA mode. BSP modes
+	// write each worker's shard at every SnapshotEvery-th barrier — a
+	// consistent cut, since no messages are in flight at a barrier. The
+	// async family and SSP write epoch-stamped snapshots too: selective
+	// (min/max) aggregates snapshot locally at pass boundaries with no
+	// coordination (a stale snapshot restores correctly under the
+	// paper's Theorem 3 — replayed or reordered deltas cannot change a
+	// selective fixpoint); combining aggregates (sum/count) run a
+	// Chandy–Lamport-style marker episode driven by the master every
+	// SnapshotEvery-th check round, producing a consistent cut.
 	SnapshotDir   string
 	SnapshotEvery int
 
 	// RestoreDir resumes a run from the snapshots in the directory
 	// instead of seeding ΔX¹ (any MRA mode, any worker count).
+	// Consistent-cut snapshots restore state exactly; stale snapshots
+	// (refused for non-selective aggregates) warm-start the run by
+	// re-folding the saved rows over the normal ΔX¹ seed.
 	RestoreDir string
+
+	// Fault plugs a deterministic fault injector into the run: a
+	// fault-wrapping transport conn, a stall-decorating barrier, and the
+	// master's crash/restart hooks. nil (the default) injects nothing
+	// and adds nothing to the hot path.
+	Fault *fault.Injector
 
 	// Network emulates the paper's cluster fabric on the in-process
 	// transport (17 Aliyun nodes, 1.5 Gbps): each outgoing message costs

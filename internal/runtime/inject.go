@@ -1,0 +1,33 @@
+package runtime
+
+import (
+	"time"
+
+	"powerlog/internal/fault"
+)
+
+// stallBarrier decorates a mode's BarrierPolicy with deterministic
+// straggler injection: before every injector-selected compute pass the
+// worker sleeps, exercising BSP barrier waits, the SSP staleness gate,
+// and the async master's idle detection. Living outside the policy
+// implementations, it costs nothing when no injector is configured and
+// needs no mode-specific code.
+type stallBarrier struct {
+	inner BarrierPolicy
+	inj   *fault.Injector
+	pass  int
+}
+
+func (s *stallBarrier) setup(w *worker) { s.inner.setup(w) }
+
+func (s *stallBarrier) beginPass(w *worker) bool {
+	s.pass++
+	if d := s.inj.StallFor(w.id, s.pass); d > 0 {
+		time.Sleep(d)
+	}
+	return s.inner.beginPass(w)
+}
+
+func (s *stallBarrier) endPass(w *worker, progressed bool) bool {
+	return s.inner.endPass(w, progressed)
+}

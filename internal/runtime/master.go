@@ -82,6 +82,23 @@ func (m *master) run() {
 	}
 }
 
+// crashAt implements the injector's run-level faults at the top of a
+// master round: CrashRound aborts the whole run (broadcast Stop with
+// converged=false — the "crash" half of a crash/restore drill), and
+// MasterRestartRound asks the caller to forget its termination-detector
+// state, as a restarted master process would.
+func (m *master) crashAt(round int) (crash, restart bool) {
+	inj := m.cfg.Fault
+	if inj == nil {
+		return false, false
+	}
+	if inj.CrashRound() == round {
+		m.bcast(transport.Message{Kind: transport.Stop})
+		return true, false
+	}
+	return false, inj.MasterRestartRound() == round
+}
+
 // runBSP collects one PhaseDone per worker per superstep and decides.
 func (m *master) runBSP() {
 	eps := m.plan.Termination.Epsilon
@@ -89,6 +106,13 @@ func (m *master) runBSP() {
 	armed := false
 	for round := 1; ; round++ {
 		m.rounds = round
+		if crash, restart := m.crashAt(round); crash {
+			return
+		} else if restart {
+			// The ε detector is self-stabilising: losing the armed flag
+			// can only delay the stop decision, never corrupt it.
+			armed = false
+		}
 		var sumDelta float64
 		anyDirty := false
 		for got := 0; got < m.nw; {
@@ -145,8 +169,33 @@ func (m *master) runAsync() {
 	prevStable := false
 	prevSum := math.NaN()
 	prevPasses := int64(-1)
+	// ε-candidate state: when the ε test first fires, the stop is armed,
+	// not taken — candSent remembers the global send watermark at that
+	// instant, and the stop is confirmed only once Σrecv has passed it
+	// (every delta outstanding at candidate time has been folded) with the
+	// aggregate still inside ε. A slow or partitioned link freezes recv
+	// below the watermark, so a candidate hiding in-flight deltas cannot
+	// confirm; when the link heals, the moved aggregate cancels it.
+	candArmed := false
+	var candSum float64
+	var candSent int64
 	for round := 0; ; round++ {
 		m.rounds = round + 1
+		if crash, restart := m.crashAt(round + 1); crash {
+			return
+		} else if restart {
+			// Forget the detector state a restarted master would lose.
+			// Both criteria are self-stabilising — stability must be
+			// observed twice and ε needs a fresh pair of aggregates — so
+			// the run can only stop later, never wrongly.
+			prevStable = false
+			prevSum = math.NaN()
+			prevPasses = -1
+			candArmed = false
+		}
+		if m.snapshotsDue(round) && !m.runEpisode(round/m.cfg.SnapshotEvery) {
+			return
+		}
 		time.Sleep(m.cfg.CheckInterval)
 		m.bcast(transport.Message{Kind: transport.StatsRequest, Round: round})
 		var sent, recv, passes int64
@@ -176,13 +225,22 @@ func (m *master) runAsync() {
 		prevStable = stable
 		if eps > 0 && passes-prevPasses >= int64(m.nw) {
 			if prevPasses >= 0 && !math.IsNaN(prevSum) && accSum != 0 &&
-				math.Abs(accSum-prevSum) < eps {
-				stop, m.converged = true, true
+				!candArmed && math.Abs(accSum-prevSum) < eps {
+				candArmed, candSum, candSent = true, accSum, sent
 			}
 			prevSum, prevPasses = accSum, passes
 		} else if prevPasses < 0 {
 			prevPasses = passes
 			prevSum = accSum
+		}
+		if candArmed && recv >= candSent {
+			if math.Abs(accSum-candSum) < eps {
+				stop, m.converged = true, true
+			} else {
+				// The drained in-flight deltas moved the aggregate by more
+				// than ε — the candidate was premature. Keep running.
+				candArmed = false
+			}
 		}
 		// The system-level iteration cap counts effective iterations
 		// (average compute passes per worker), not master check rounds,

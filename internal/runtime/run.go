@@ -30,7 +30,8 @@ func Run(plan *compiler.Plan, cfg Config) (*Result, error) {
 	net := transport.NewChannelNetwork(cfg.Workers, 4096)
 	workers := make([]*worker, cfg.Workers)
 	for i := range workers {
-		workers[i] = newWorker(i, cfg, plan, net.Conn(i))
+		// Fault.Wrap is a no-op passthrough when no injector is set.
+		workers[i] = newWorker(i, cfg, plan, cfg.Fault.Wrap(net.Conn(i)))
 	}
 
 	// Seed state per mode: MRA folds ΔX¹ into the shards (or restores a
@@ -38,12 +39,23 @@ func Run(plan *compiler.Plan, cfg Config) (*Result, error) {
 	// worker's owned slice.
 	if cfg.Mode.MRA() {
 		if cfg.RestoreDir != "" {
-			rows, err := ckpt.LoadAll(cfg.RestoreDir)
+			rows, meta, err := ckpt.LoadAll(cfg.RestoreDir)
 			if err != nil {
 				return nil, err
 			}
-			for _, w := range workers {
-				w.restore(rows)
+			if meta.Cut {
+				for _, w := range workers {
+					w.restore(rows)
+				}
+			} else {
+				if !plan.Op.Selective() {
+					return nil, fmt.Errorf("runtime: %s has only stale snapshots, which are safe to restore "+
+						"only for selective aggregates (Theorem 3); combining aggregates need a consistent cut", cfg.RestoreDir)
+				}
+				for _, w := range workers {
+					w.seed(plan.InitMRA)
+					w.restoreStale(rows)
+				}
 			}
 		} else {
 			for _, w := range workers {
@@ -72,6 +84,14 @@ func Run(plan *compiler.Plan, cfg Config) (*Result, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	net.Close()
+
+	// Worker goroutines have exited, so sendErr reads are race-free
+	// (each worker's run() waits for its comm goroutine).
+	for _, w := range workers {
+		if w.sendErr != nil {
+			return nil, fmt.Errorf("runtime: worker %d send failed: %w", w.id, w.sendErr)
+		}
+	}
 
 	res := &Result{
 		Values:    map[int64]float64{},
@@ -131,14 +151,23 @@ func RunWorker(plan *compiler.Plan, cfg Config, conn transport.Conn) (map[int64]
 	if plan.Propagate == nil || plan.Op == nil {
 		return nil, fmt.Errorf("runtime: plan is not compiled")
 	}
-	w := newWorker(conn.ID(), cfg, plan, conn)
+	w := newWorker(conn.ID(), cfg, plan, cfg.Fault.Wrap(conn))
 	if cfg.Mode.MRA() {
 		if cfg.RestoreDir != "" {
-			rows, err := ckpt.LoadAll(cfg.RestoreDir)
+			rows, meta, err := ckpt.LoadAll(cfg.RestoreDir)
 			if err != nil {
 				return nil, err
 			}
-			w.restore(rows)
+			if meta.Cut {
+				w.restore(rows)
+			} else {
+				if !plan.Op.Selective() {
+					return nil, fmt.Errorf("runtime: %s has only stale snapshots, which are safe to restore "+
+						"only for selective aggregates (Theorem 3); combining aggregates need a consistent cut", cfg.RestoreDir)
+				}
+				w.seed(plan.InitMRA)
+				w.restoreStale(rows)
+			}
 		} else {
 			w.seed(plan.InitMRA)
 		}
@@ -150,6 +179,9 @@ func RunWorker(plan *compiler.Plan, cfg Config, conn transport.Conn) (map[int64]
 		}
 	}
 	w.run()
+	if w.sendErr != nil {
+		return nil, fmt.Errorf("runtime: worker %d send failed: %w", w.id, w.sendErr)
+	}
 	local := map[int64]float64{}
 	w.table.Range(func(k int64, v float64) bool {
 		local[k] = v

@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"powerlog/internal/compiler"
-	"powerlog/internal/transport"
 )
 
 // MRASSP — stale synchronous parallel evaluation — is the point between
@@ -54,6 +53,10 @@ func (b *sspBarrier) setup(*worker) {}
 func (b *sspBarrier) beginPass(w *worker) bool { return w.drainInbox() }
 
 func (b *sspBarrier) endPass(w *worker, progressed bool) bool {
+	// A superstep boundary is SSP's snapshot safe point: join a pending
+	// marker episode (combining aggregates) or write a local stale
+	// snapshot (selective aggregates, Theorem 3).
+	w.maybeSnapshot()
 	if !progressed {
 		if w.pol.sched.release() {
 			// §5.4: held low-priority deltas are used when the worker
@@ -77,22 +80,21 @@ func (b *sspBarrier) endPass(w *worker, progressed bool) bool {
 	b.advance(w)
 	// The gate: before starting superstep steps+1, every peer must have
 	// completed at least steps − Staleness.
-	w.awaitPeerSteps(b.steps - b.staleness)
+	b.awaitPeerSteps(w, b.steps-b.staleness)
 	return true
 }
 
 // advance completes one superstep: flush the pass's buffered updates,
 // then fence them with EndPhase markers (data lane, so per-pair
-// ordering guarantees the data lands first).
+// ordering guarantees the data lands first). Markers carry the 1-based
+// completed-step count; receivers keep the max, so duplicates are
+// no-ops and a dropped marker is covered by any later one.
 func (b *sspBarrier) advance(w *worker) {
 	w.flushAll()
-	for j := 0; j < w.nw; j++ {
-		if j != w.id {
-			w.enqueue(j, transport.Message{Kind: transport.EndPhase, Round: b.steps})
-		}
-	}
 	b.steps++
 	w.rounds++
+	w.broadcastEndPhase(b.steps)
+	w.maybeStaleSnapshot(b.steps)
 }
 
 // minPeerSteps / maxPeerSteps scan the EndPhase vector clock.
@@ -123,23 +125,33 @@ func (w *worker) maxPeerSteps() int {
 // awaitPeerSteps blocks until every peer has completed at least need
 // supersteps, handling all control traffic (stats polls, Stop) while
 // blocked. The blocked time is accounted as straggler wait — the SSP
-// cost surfaced through Result.Workers.
-func (w *worker) awaitPeerSteps(need int) {
+// cost surfaced through Result.Workers. A stalled wait retransmits this
+// worker's own marker (a lost one may be what blocks a peer), and a
+// snapshot episode requested while blocked is joined inline — a gated
+// worker that ignored SnapRequest would deadlock the episode against
+// peers already waiting for its mark.
+func (b *sspBarrier) awaitPeerSteps(w *worker, need int) {
 	if w.nw == 1 || need <= 0 {
 		return
 	}
 	var start time.Time
-	for !w.stopped && w.minPeerSteps() < need {
+	for !w.stopped && !w.sendDead.Load() && w.minPeerSteps() < need {
 		if start.IsZero() {
 			start = time.Now()
 		}
-		m, ok := <-w.conn.Inbox()
-		if !ok {
-			w.stopped = true
-			break
+		select {
+		case m, ok := <-w.conn.Inbox():
+			if !ok {
+				w.stopped = true
+				goto done
+			}
+			w.handle(m)
+			w.maybeSnapshot()
+		case <-time.After(markerResend):
+			w.broadcastEndPhase(b.steps)
 		}
-		w.handle(m)
 	}
+done:
 	if !start.IsZero() {
 		w.stragglerWait += time.Since(start)
 	}

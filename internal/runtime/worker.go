@@ -2,6 +2,7 @@ package runtime
 
 import (
 	stdruntime "runtime"
+	"sync/atomic"
 	"time"
 
 	"powerlog/internal/agg"
@@ -58,12 +59,33 @@ type worker struct {
 	drainKeys []int64
 	drainBuf  []drained
 
-	// control-state set by handle()
+	// control-state set by handle(). peerSteps is the EndPhase vector
+	// clock: peerSteps[j] is the highest completed-superstep count worker
+	// j has announced. Markers carry their sender's count and the
+	// receiver keeps the max, so a duplicated or retransmitted marker is
+	// idempotent and a dropped one is healed by any later (or resent)
+	// marker from the same peer.
 	stopped    bool
-	endPhases  int
-	peerSteps  []int          // EndPhase markers per sender (SSP staleness gate)
+	peerSteps  []int
 	verdict    transport.Kind // Continue or Stop, valid when verdictSet
 	verdictSet bool
+
+	// Snapshot-episode state (episode.go): the latest SnapRequest epoch,
+	// the latest episode this worker completed, per-peer SnapMark epochs,
+	// and the latest Resume epoch.
+	snapReqEpoch  int
+	snapDoneEpoch int
+	snapMarks     []int
+	resumeEpoch   int
+	staleEpoch    int // last local stale-snapshot epoch (episode.go)
+
+	// sendErr records the first unrecoverable transport failure seen by
+	// the comm goroutine; sendDead flags it for the compute loop, which
+	// stops instead of computing into a dead network. Run/RunWorker
+	// surface the error after the worker exits (reading sendErr is safe
+	// then: commDone closes after the final write).
+	sendErr  error
+	sendDead atomic.Bool
 
 	stragglerWait time.Duration // SSP: total time blocked on stale peers
 }
@@ -113,12 +135,19 @@ func newWorker(id int, cfg Config, plan *compiler.Plan, conn transport.Conn) *wo
 		bufs:      make([]*outBuf, cfg.Workers),
 		lastFlush: make([]time.Time, cfg.Workers),
 		peerSteps: make([]int, cfg.Workers),
+		snapMarks: make([]int, cfg.Workers),
 		win: window{
 			start:  time.Now(),
 			counts: make([]int64, cfg.Workers),
 		},
 	}
 	w.pol = policiesFor(cfg, plan, id)
+	if cfg.Fault != nil {
+		// Straggler injection decorates the mode's barrier from outside
+		// (inject.go): the policy seams absorb the fault layer with no
+		// new switches in the hot path.
+		w.pol.barrier = &stallBarrier{inner: w.pol.barrier, inj: cfg.Fault}
+	}
 	w.table = w.newTable()
 	w.apply = w.table
 	now := time.Now()
@@ -139,15 +168,59 @@ func (w *worker) newTable() monotable.Table {
 
 func (w *worker) owner(key int64) int { return graph.Partition(key, w.nw) }
 
+// sendAttempts bounds the comm goroutine's blocking-send retries. The
+// transport has its own healing underneath (TCP redials with backoff and
+// a circuit breaker; injected faults clear as the event counter
+// advances), so a message that still fails after this many attempts is
+// on a genuinely dead link.
+const sendAttempts = 6
+
 func (w *worker) commLoop() {
 	defer close(w.commDone)
 	emu := w.cfg.Network
 	try, canTry := w.conn.(transport.TrySender)
+	// deliver pushes one message through the blocking Send with bounded
+	// escalating retry. A persistent failure kills the send path: the
+	// error is recorded for Run/RunWorker to surface, and everything
+	// queued afterwards is discarded (recycling Data batches) so the
+	// compute goroutine can never deadlock against a dead network.
+	// bestEffort marks shutdown stragglers — messages still queued after
+	// the compute loop closed its lanes. The run's outcome no longer
+	// depends on them, so a persistent failure there is discarded without
+	// poisoning a run that already finished.
+	deliver := func(om outMsg, bestEffort bool) {
+		if w.sendDead.Load() {
+			if om.m.Kind == transport.Data {
+				transport.PutBatch(om.m.KVs)
+			}
+			return
+		}
+		var bo backoff
+		for attempt := 1; ; attempt++ {
+			err := w.conn.Send(om.to, om.m)
+			if err == nil {
+				return
+			}
+			// On error the transport did not consume the message
+			// (transport.Conn contract), so retrying it is sound.
+			if attempt >= sendAttempts {
+				if !bestEffort {
+					w.sendErr = err
+					w.sendDead.Store(true)
+				}
+				if om.m.Kind == transport.Data {
+					transport.PutBatch(om.m.KVs)
+				}
+				return
+			}
+			bo.wait()
+		}
+	}
 	sendCtl := func(om outMsg) {
 		if emu.Enabled() {
 			time.Sleep(emu.cost(len(om.m.KVs)))
 		}
-		_ = w.conn.Send(om.to, om.m)
+		deliver(om, false)
 	}
 	send := func(om outMsg) {
 		if emu.Enabled() {
@@ -156,7 +229,7 @@ func (w *worker) commLoop() {
 			time.Sleep(emu.cost(len(om.m.KVs)))
 		}
 		if !canTry {
-			_ = w.conn.Send(om.to, om.m)
+			deliver(om, false)
 			return
 		}
 		// Avoid head-of-line blocking: while the destination is
@@ -166,14 +239,23 @@ func (w *worker) commLoop() {
 		var bo backoff
 		for {
 			ok, err := try.TrySend(om.to, om.m)
-			if ok || err != nil {
+			if ok {
+				return
+			}
+			if err != nil {
+				// A hard TrySend error is not back-pressure; fall back to
+				// the blocking path and its retry budget rather than
+				// silently dropping the message.
+				deliver(om, false)
 				return
 			}
 			select {
 			case ctl, chOk := <-w.outCtrl:
 				if !chOk {
+					// The compute loop has exited; om is a shutdown
+					// straggler, delivered best-effort.
 					w.outCtrl = nil
-					_ = w.conn.Send(om.to, om.m)
+					deliver(om, true)
 					return
 				}
 				sendCtl(ctl)
@@ -259,9 +341,11 @@ func (w *worker) handle(m transport.Message) {
 		// The batch is spent; recycle it (see the contract in transport).
 		transport.PutBatch(m.KVs)
 	case transport.EndPhase:
-		w.endPhases++
-		if m.From >= 0 && m.From < len(w.peerSteps) {
-			w.peerSteps[m.From]++
+		// Round is the sender's completed-superstep count; keeping the
+		// max makes markers idempotent (duplicates are no-ops) and
+		// self-healing (any later marker covers a dropped one).
+		if m.From >= 0 && m.From < len(w.peerSteps) && m.Round > w.peerSteps[m.From] {
+			w.peerSteps[m.From] = m.Round
 		}
 	case transport.Continue:
 		w.verdict, w.verdictSet = transport.Continue, true
@@ -270,6 +354,18 @@ func (w *worker) handle(m transport.Message) {
 		w.verdict, w.verdictSet = transport.Stop, true
 	case transport.StatsRequest:
 		w.replyStats(m.Round)
+	case transport.SnapRequest:
+		if m.Round > w.snapReqEpoch {
+			w.snapReqEpoch = m.Round
+		}
+	case transport.SnapMark:
+		if m.From >= 0 && m.From < len(w.snapMarks) && m.Round > w.snapMarks[m.From] {
+			w.snapMarks[m.From] = m.Round
+		}
+	case transport.Resume:
+		if m.Round > w.resumeEpoch {
+			w.resumeEpoch = m.Round
+		}
 	}
 }
 
@@ -312,9 +408,9 @@ func (w *worker) seed(init []compiler.KV) {
 	}
 }
 
-// restore loads this worker's share of a checkpoint: accumulations are
-// installed directly, pending intermediates re-folded so the run resumes
-// exactly where the snapshot's barrier left it.
+// restore loads this worker's share of a consistent-cut checkpoint:
+// accumulations are installed directly, pending intermediates re-folded
+// so the run resumes exactly where the snapshot's cut left it.
 func (w *worker) restore(rows []ckpt.Row) {
 	id := w.plan.Op.Identity()
 	for _, r := range rows {
@@ -331,14 +427,38 @@ func (w *worker) restore(rows []ckpt.Row) {
 	}
 }
 
-// snapshot writes this worker's shard state (called at a BSP barrier).
-func (w *worker) snapshot() error {
+// restoreStale warm-starts from a stale (uncoordinated) snapshot by
+// re-folding the saved rows as ordinary deltas over the normal ΔX¹ seed.
+// Sound only for selective aggregates: Theorem 3's replay tolerance
+// means extra or re-delivered deltas cannot move a min/max fixpoint, so
+// the saved values only shortcut re-derivation, never corrupt it. The
+// caller has already seeded ΔX¹ and verified Op.Selective().
+func (w *worker) restoreStale(rows []ckpt.Row) {
+	id := w.plan.Op.Identity()
+	for _, r := range rows {
+		if w.owner(r.Key) != w.id {
+			continue
+		}
+		if r.Acc != id {
+			w.table.FoldDelta(r.Key, r.Acc)
+		}
+		if r.Inter != id {
+			w.table.FoldDelta(r.Key, r.Inter)
+		}
+	}
+}
+
+// snapshot writes this worker's shard as the given epoch. cut records
+// whether the snapshot is part of a consistent cut (a BSP barrier or a
+// marker episode) or a local stale snapshot (async/SSP selective modes).
+func (w *worker) snapshot(epoch int, cut bool) error {
 	var rows []ckpt.Row
 	w.table.RangeRows(func(k int64, acc, inter float64) bool {
 		rows = append(rows, ckpt.Row{Key: k, Acc: acc, Inter: inter})
 		return true
 	})
-	return ckpt.SaveShard(w.cfg.SnapshotDir, w.id, rows)
+	meta := ckpt.Meta{Epoch: epoch, Worker: w.id, Workers: w.nw, Cut: cut}
+	return ckpt.SaveShard(w.cfg.SnapshotDir, meta, rows)
 }
 
 // flush sends buffer j if it is non-empty.
@@ -389,7 +509,7 @@ func (w *worker) run() {
 		<-w.commDone
 	}()
 	w.pol.barrier.setup(w)
-	for !w.stopped {
+	for !w.stopped && !w.sendDead.Load() {
 		progressed := w.pol.barrier.beginPass(w)
 		if w.stopped {
 			return

@@ -3,11 +3,46 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// ErrPeerUnavailable is returned by TCPConn.Send while a peer's circuit
+// breaker is open: the link failed BreakAfter consecutive times and is in
+// its cooldown, so sends fail fast instead of re-dialling a dead peer.
+// The message was not consumed; the caller may retry after the cooldown.
+var ErrPeerUnavailable = errors.New("transport: peer unavailable (circuit open)")
+
+// RetryPolicy bounds TCPConn.Send's redial-and-retry behaviour.
+type RetryPolicy struct {
+	// Attempts is the number of delivery attempts per Send call.
+	Attempts int
+	// Backoff is the sleep before the first retry; it doubles per retry.
+	Backoff time.Duration
+	// BreakAfter consecutive link failures open the circuit breaker.
+	BreakAfter int
+	// Cooldown is how long the breaker stays open before a half-open
+	// probe is allowed through.
+	Cooldown time.Duration
+	// DialTimeout bounds each dial attempt.
+	DialTimeout time.Duration
+}
+
+// DefaultRetryPolicy is tuned so a transient hiccup (peer restarting, a
+// dropped connection) heals within a few milliseconds while a dead peer
+// costs each sender at most Attempts dials before the breaker opens.
+var DefaultRetryPolicy = RetryPolicy{
+	Attempts:    4,
+	Backoff:     2 * time.Millisecond,
+	BreakAfter:  8,
+	Cooldown:    250 * time.Millisecond,
+	DialTimeout: 2 * time.Second,
+}
 
 // TCPConn is a network endpoint over TCP with the length-prefixed binary
 // codec of codec.go — the multi-process stand-in for the original
@@ -21,27 +56,32 @@ type TCPConn struct {
 	listener net.Listener
 	inbox    chan Message
 
+	retry RetryPolicy
+
 	mu       sync.Mutex
 	addrs    []string // len workers+1; index = endpoint id
 	outs     map[int]*outConn
 	accepted []net.Conn
 	done     chan struct{}
+	closed   atomic.Bool
 	wg       sync.WaitGroup
 	cerr     error
 	close    sync.Once
 }
 
-// outConn is one dialled peer link. Dialling runs under the per-peer
-// once — never under the endpoint-wide mutex — so a slow or unreachable
-// peer stalls only its own senders, not sends to every destination.
+// outConn is one peer link. Dialling runs lazily under the link's own
+// mutex — never under the endpoint-wide one — so a slow or unreachable
+// peer stalls only its own senders, not sends to every destination. A
+// failed link is redialled on the next attempt until fails reaches the
+// retry policy's BreakAfter, which opens the circuit until openUntil.
 type outConn struct {
 	addr string
-	once sync.Once
-	err  error
 
-	mu  sync.Mutex
-	c   net.Conn
-	buf []byte // reusable frame-encode buffer, guarded by mu
+	mu        sync.Mutex
+	c         net.Conn
+	buf       []byte // reusable frame-encode buffer, guarded by mu
+	fails     int    // consecutive dial/write failures
+	openUntil time.Time
 }
 
 // NewTCPEndpoint starts endpoint id of a TCP network whose endpoints live
@@ -67,6 +107,7 @@ func NewTCPEndpoint(id, workers int, addrs []string) (*TCPConn, error) {
 		inbox:    make(chan Message, 4096),
 		outs:     map[int]*outConn{},
 		done:     make(chan struct{}),
+		retry:    DefaultRetryPolicy,
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -142,53 +183,103 @@ func (t *TCPConn) readLoop(c net.Conn) {
 	}
 }
 
-// Send implements Conn. Data batches are recycled into the batch pool
-// after they are encoded onto the wire (see the contract in batch.go).
+// SetRetry replaces the endpoint's retry policy. Call before any Send.
+func (t *TCPConn) SetRetry(p RetryPolicy) { t.retry = p }
+
+// Send implements Conn. A failed dial or write is retried with
+// exponential backoff up to the retry policy's attempt budget; past
+// BreakAfter consecutive link failures the per-peer circuit breaker
+// opens and sends fail fast with ErrPeerUnavailable until the cooldown
+// elapses. On success the Data batch is recycled into the batch pool
+// once encoded onto the wire (see the contract in batch.go); on error
+// ownership stays with the caller.
 func (t *TCPConn) Send(to int, m Message) error {
 	m.From = t.id
 	oc, err := t.peer(to)
 	if err != nil {
 		return err
 	}
-	oc.mu.Lock()
-	buf, start := appendFrame(oc.buf, &m)
-	oc.buf = buf
-	_, err = oc.c.Write(buf[start:])
-	oc.mu.Unlock()
-	if m.Kind == Data {
-		PutBatch(m.KVs)
+	backoff := t.retry.Backoff
+	for attempt := 0; ; attempt++ {
+		err = t.attempt(to, oc, &m)
+		if err == nil {
+			if m.Kind == Data {
+				PutBatch(m.KVs)
+			}
+			return nil
+		}
+		// A closed endpoint or an open breaker will not heal within
+		// this call's backoff budget: fail fast.
+		if attempt+1 >= t.retry.Attempts ||
+			errors.Is(err, ErrPeerUnavailable) || errors.Is(err, net.ErrClosed) {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
 	}
-	return err
 }
 
-// peer returns the link to endpoint `to`, dialling it on first use. The
-// endpoint-wide mutex covers only the map lookup; the dial itself runs
-// under the link's own once, so concurrent sends to other (responsive)
-// peers proceed while one dial blocks.
+// attempt makes one delivery attempt: breaker check, lazy (re)dial,
+// encode, write. It runs entirely under the link's mutex, so concurrent
+// senders to the same peer serialise (preserving pairwise ordering)
+// while sends to other peers proceed.
+func (t *TCPConn) attempt(to int, oc *outConn, m *Message) error {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if t.closed.Load() {
+		return net.ErrClosed
+	}
+	now := time.Now()
+	if oc.fails >= t.retry.BreakAfter && now.Before(oc.openUntil) {
+		return fmt.Errorf("transport: endpoint %d at %s: %w", to, oc.addr, ErrPeerUnavailable)
+	}
+	if oc.c == nil {
+		c, err := net.DialTimeout("tcp", oc.addr, t.retry.DialTimeout)
+		if err != nil {
+			t.linkFailed(oc, now)
+			return fmt.Errorf("transport: dial endpoint %d at %s: %w", to, oc.addr, err)
+		}
+		if t.closed.Load() { // Close raced the dial; do not resurrect the link
+			c.Close()
+			return net.ErrClosed
+		}
+		oc.c = c
+	}
+	buf, start := appendFrame(oc.buf, m)
+	oc.buf = buf
+	if _, err := oc.c.Write(buf[start:]); err != nil {
+		oc.c.Close()
+		oc.c = nil // force a redial on the next attempt
+		t.linkFailed(oc, now)
+		return fmt.Errorf("transport: write endpoint %d: %w", to, err)
+	}
+	oc.fails = 0
+	return nil
+}
+
+// linkFailed records one more consecutive failure on a link, opening
+// (or re-arming, for a failed half-open probe) its circuit breaker once
+// the count reaches BreakAfter. Callers hold oc.mu.
+func (t *TCPConn) linkFailed(oc *outConn, now time.Time) {
+	oc.fails++
+	if oc.fails >= t.retry.BreakAfter {
+		oc.openUntil = now.Add(t.retry.Cooldown)
+	}
+}
+
+// peer returns the link to endpoint `to`, creating (not dialling) it on
+// first use. The endpoint-wide mutex covers only the map lookup; dials
+// happen lazily inside attempt under the link's own mutex.
 func (t *TCPConn) peer(to int) (*outConn, error) {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	oc, ok := t.outs[to]
 	if !ok {
 		if to < 0 || to >= len(t.addrs) {
-			t.mu.Unlock()
 			return nil, fmt.Errorf("transport: no endpoint %d", to)
 		}
 		oc = &outConn{addr: t.addrs[to]}
 		t.outs[to] = oc
-	}
-	t.mu.Unlock()
-	oc.once.Do(func() {
-		c, err := net.Dial("tcp", oc.addr)
-		if err != nil {
-			oc.err = fmt.Errorf("transport: dial endpoint %d at %s: %w", to, oc.addr, err)
-			return
-		}
-		oc.mu.Lock()
-		oc.c = c
-		oc.mu.Unlock()
-	})
-	if oc.err != nil {
-		return nil, oc.err
 	}
 	return oc, nil
 }
@@ -196,6 +287,10 @@ func (t *TCPConn) peer(to int) (*outConn, error) {
 // Close implements Conn.
 func (t *TCPConn) Close() error {
 	t.close.Do(func() {
+		// The closed flag pins every link dead before the sockets come
+		// down: a racing Send observes it under the link mutex and
+		// cannot dial a fresh connection after Close.
+		t.closed.Store(true)
 		close(t.done)
 		t.cerr = t.listener.Close()
 		t.mu.Lock()
@@ -206,12 +301,10 @@ func (t *TCPConn) Close() error {
 		accepted := t.accepted
 		t.mu.Unlock()
 		for _, oc := range outs {
-			// Waits for any in-flight dial, and pins the link dead so a
-			// racing Send cannot dial a fresh connection after Close.
-			oc.once.Do(func() { oc.err = net.ErrClosed })
 			oc.mu.Lock()
 			if oc.c != nil {
 				oc.c.Close()
+				oc.c = nil
 			}
 			oc.mu.Unlock()
 		}

@@ -31,11 +31,16 @@ const (
 	StatsRequest             // master → workers: report stats for round N
 	StatsReply               // workers → master
 	Stop                     // master → workers: terminate
+	SnapRequest              // master → workers: open snapshot episode (Round = epoch)
+	SnapMark                 // worker → worker, data lane: Chandy–Lamport cut marker
+	SnapDone                 // worker → master: shard for the episode is durable
+	Resume                   // master → workers: episode complete, resume computing
 )
 
 // String names the message kind.
 func (k Kind) String() string {
-	names := [...]string{"Data", "EndPhase", "PhaseDone", "Continue", "StatsRequest", "StatsReply", "Stop"}
+	names := [...]string{"Data", "EndPhase", "PhaseDone", "Continue", "StatsRequest", "StatsReply", "Stop",
+		"SnapRequest", "SnapMark", "SnapDone", "Resume"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -72,11 +77,13 @@ type Conn interface {
 	ID() int
 	// Workers is the number of worker endpoints.
 	Workers() int
-	// Send delivers m to endpoint `to`. Send takes ownership of the
-	// message: the caller must not touch it (including the KV slice)
-	// afterwards. A Data batch is recycled into the batch pool by
-	// whoever sees it last — the receiver after folding it, or the
-	// transport itself once it is encoded onto a wire.
+	// Send delivers m to endpoint `to`. On success (nil error) Send
+	// takes ownership of the message: the caller must not touch it
+	// (including the KV slice) afterwards. A Data batch is recycled
+	// into the batch pool by whoever sees it last — the receiver after
+	// folding it, or the transport itself once it is encoded onto a
+	// wire. On error the message was NOT consumed: ownership stays with
+	// the caller, who may retry the same message or recycle the batch.
 	Send(to int, m Message) error
 	// Inbox is the endpoint's receive stream. It is closed when the
 	// network shuts down.

@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -231,4 +233,126 @@ func TestTCPAddrFormat(t *testing.T) {
 	if _, err := fmt.Sscanf(w0.Addr(), "127.0.0.1:%d", new(int)); err != nil {
 		t.Errorf("Addr = %q", w0.Addr())
 	}
+}
+
+// reservePort grabs an ephemeral loopback port and releases it, so tests
+// can point an address book at a port with no listener (dial refused)
+// and later resurrect a listener on the same address.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestTCPSendFailsWithoutListener(t *testing.T) {
+	dead := reservePort(t)
+	w0, err := NewTCPEndpoint(0, 1, []string{"127.0.0.1:0", dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w0.Close()
+	w0.SetRetry(RetryPolicy{Attempts: 3, Backoff: 100 * time.Microsecond,
+		BreakAfter: 100, Cooldown: time.Minute, DialTimeout: time.Second})
+	if err := w0.Send(1, Message{Kind: EndPhase}); err == nil {
+		t.Fatal("send to a dead peer should exhaust its retries and fail")
+	}
+}
+
+func TestTCPBreakerOpensThenFailsFast(t *testing.T) {
+	dead := reservePort(t)
+	w0, err := NewTCPEndpoint(0, 1, []string{"127.0.0.1:0", dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w0.Close()
+	w0.SetRetry(RetryPolicy{Attempts: 2, Backoff: 100 * time.Microsecond,
+		BreakAfter: 3, Cooldown: time.Minute, DialTimeout: time.Second})
+	var sawOpen bool
+	for i := 0; i < 10; i++ {
+		err := w0.Send(1, Message{Kind: EndPhase})
+		if err == nil {
+			t.Fatal("dead peer send succeeded")
+		}
+		if errors.Is(err, ErrPeerUnavailable) {
+			sawOpen = true
+			break
+		}
+	}
+	if !sawOpen {
+		t.Fatal("breaker never opened after repeated dial failures")
+	}
+	// While open, sends fail fast — no dial, no retry sleeps.
+	start := time.Now()
+	if err := w0.Send(1, Message{Kind: EndPhase}); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("open breaker should fail fast with ErrPeerUnavailable, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("fast-fail took %v", elapsed)
+	}
+}
+
+func TestTCPBreakerHalfOpenRecovers(t *testing.T) {
+	addr := reservePort(t)
+	w0, err := NewTCPEndpoint(0, 1, []string{"127.0.0.1:0", addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w0.Close()
+	w0.SetRetry(RetryPolicy{Attempts: 2, Backoff: 100 * time.Microsecond,
+		BreakAfter: 2, Cooldown: 5 * time.Millisecond, DialTimeout: time.Second})
+	if err := w0.Send(1, Message{Kind: EndPhase}); err == nil {
+		t.Fatal("send before the peer exists should fail")
+	}
+	// The peer comes up on the reserved address; after the cooldown the
+	// breaker's half-open probe redials and delivery succeeds.
+	w1, err := NewTCPEndpoint(1, 1, []string{"127.0.0.1:0", addr})
+	if err != nil {
+		t.Skipf("could not rebind reserved port %s: %v", addr, err)
+	}
+	defer w1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err = w0.Send(1, Message{Kind: EndPhase, Round: 7}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("send never recovered after peer came up: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	select {
+	case m := <-w1.Inbox():
+		if m.Kind != EndPhase || m.Round != 7 {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("recovered send never arrived")
+	}
+}
+
+func TestTCPSendErrorKeepsOwnership(t *testing.T) {
+	dead := reservePort(t)
+	w0, err := NewTCPEndpoint(0, 1, []string{"127.0.0.1:0", dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w0.Close()
+	w0.SetRetry(RetryPolicy{Attempts: 1, Backoff: 100 * time.Microsecond,
+		BreakAfter: 100, Cooldown: time.Minute, DialTimeout: time.Second})
+	kvs := GetBatch(1)
+	kvs = append(kvs, KV{K: 5, V: 9})
+	msg := Message{Kind: Data, KVs: kvs}
+	if err := w0.Send(1, msg); err == nil {
+		t.Fatal("send to a dead peer should fail")
+	}
+	// On error the batch was not consumed: still intact, caller recycles.
+	if len(kvs) != 1 || kvs[0].K != 5 || kvs[0].V != 9 {
+		t.Fatalf("failed send corrupted the caller's batch: %+v", kvs)
+	}
+	PutBatch(kvs)
 }
