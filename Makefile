@@ -1,17 +1,20 @@
 # Tier-1 verification for this repo: `make check` is what CI
 # (.github/workflows/ci.yml) and the ROADMAP's verify step run. The race
 # pass covers the packages on the zero-allocation message path (combiner
-# → pooled batches → codec → MonoTable fold) plus checkpointing and
-# fault injection, where a recycle-contract violation would surface as a
-# data race; it runs -short, which trims the chaos matrix
-# (internal/runtime/chaos_test.go) to its representative algorithm
-# subset — the full matrix runs race-free under `make test`. `make lint`
-# runs the repo-local static analyzers of internal/lint (cmd/plvet):
-# recycle, atomicmix, lockblock, shadow — the same checks also run under
-# `go test ./internal/lint`, so plain `go test ./...` enforces them too.
-.PHONY: check build vet lint test race bench
+# → pooled batches → codec → MonoTable fold) plus checkpointing, fault
+# injection, and the lock-free metrics core, where a recycle-contract
+# violation would surface as a data race; it runs -short, which trims
+# the chaos matrix (internal/runtime/chaos_test.go) to its
+# representative algorithm subset — the full matrix runs race-free under
+# `make test`. `make lint` runs the repo-local static analyzers of
+# internal/lint (cmd/plvet): recycle, atomicmix, lockblock, shadow — the
+# same checks also run under `go test ./internal/lint`, so plain
+# `go test ./...` enforces them too. `make metrics-smoke` exercises the
+# observability layer end-to-end: the policymetrics experiment on the
+# tiny dataset, all six modes.
+.PHONY: check build vet lint test race bench metrics-smoke
 
-check: vet lint build test race
+check: vet lint build test race metrics-smoke
 
 build:
 	go build ./...
@@ -26,10 +29,14 @@ test:
 	go test ./...
 
 race:
-	go test -race -short ./internal/runtime/... ./internal/transport/... ./internal/monotable/... ./internal/ckpt/... ./internal/fault/...
+	go test -race -short ./internal/runtime/... ./internal/transport/... ./internal/monotable/... ./internal/ckpt/... ./internal/fault/... ./internal/metrics/...
+
+metrics-smoke:
+	go run ./cmd/plbench -exp policymetrics -smoke -maxwall 60s
 
 # Hot-path microbenches with allocation counts (BENCH_PR1.json records
 # the tracked numbers).
 bench:
 	go test -run xxx -bench 'BenchmarkOutBuf' -benchmem ./internal/runtime/
 	go test -run xxx -bench 'BenchmarkCodec' -benchmem ./internal/transport/
+	go test -run xxx -bench 'BenchmarkCounterInc|BenchmarkHistogramObserve' -benchmem ./internal/metrics/

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	plbench -exp table1            # condition-check catalogue
-//	plbench -exp fig10 -workers 8  # factor analysis
-//	plbench -exp all               # everything (slow)
+//	plbench -exp table1                 # condition-check catalogue
+//	plbench -exp fig10 -workers 8       # factor analysis
+//	plbench -exp policymetrics -smoke   # per-policy counters, tiny dataset
+//	plbench -exp all                    # everything (slow)
 package main
 
 import (
@@ -18,18 +19,19 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: table1, table2, fig1, fig9, fig10, fig11, ablation, ssp, recovery, or all")
+	exp := flag.String("exp", "", "experiment id: table1, table2, fig1, fig9, fig10, fig11, ablation, ssp, recovery, policymetrics, or all")
 	workers := flag.Int("workers", 4, "worker shards per engine run")
 	maxWall := flag.Duration("maxwall", 5*time.Minute, "per-run wall-clock cap")
 	staleness := flag.Int("staleness", 0, "MRA+SSP superstep bound (0 = runtime default)")
 	faults := flag.String("faults", "", `fault-injection spec applied to every run, e.g. "seed=42,sendfail=0.1,stall=5:300us"`)
+	smoke := flag.Bool("smoke", false, "shrink the experiment to its tiny-dataset variant (CI smoke runs)")
 	flag.Parse()
 
 	if *exp == "" {
 		fmt.Fprintf(os.Stderr, "usage: plbench -exp {%v|all}\n", bench.Experiments)
 		os.Exit(2)
 	}
-	cfg := bench.RunConfig{Workers: *workers, MaxWall: *maxWall, Staleness: *staleness, Faults: *faults}
+	cfg := bench.RunConfig{Workers: *workers, MaxWall: *maxWall, Staleness: *staleness, Faults: *faults, Smoke: *smoke}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = bench.Experiments

@@ -18,6 +18,7 @@ import (
 	"powerlog/internal/fault"
 	"powerlog/internal/gen"
 	"powerlog/internal/graph"
+	"powerlog/internal/metrics"
 	"powerlog/internal/parser"
 	"powerlog/internal/progs"
 	"powerlog/internal/runtime"
@@ -174,6 +175,12 @@ type RunConfig struct {
 	SnapshotDir   string
 	SnapshotEvery int
 	RestoreDir    string
+
+	// Smoke shrinks an experiment to its tiny-dataset variant — seconds
+	// instead of minutes, for CI and `make metrics-smoke`. Experiments
+	// that support it (policymetrics) swap the Table-2 stand-ins for
+	// gen.TinyDatasets.
+	Smoke bool
 }
 
 func (c RunConfig) orDefaults() RunConfig {
@@ -209,6 +216,11 @@ type Measurement struct {
 	// BetaFinal is the mean over workers of the last sampled adaptive
 	// buffer size β (unified mode with combining aggregates; else 0).
 	BetaFinal float64
+
+	// Metrics is the merge of every worker's per-policy metric snapshot
+	// (counters summed, histograms bucket-wise) — the raw material of the
+	// policymetrics experiment's table.
+	Metrics metrics.Snapshot
 }
 
 // RunMode times one engine mode on a prepared workload.
@@ -254,6 +266,7 @@ func RunMode(w *Workload, mode runtime.Mode, cfg RunConfig) (Measurement, error)
 	betaSum, betaN := 0.0, 0
 	for _, ws := range res.Workers {
 		m.StragglerWait += ws.StragglerWait
+		m.Metrics = m.Metrics.Merge(ws.Metrics)
 		if len(ws.Beta) > 0 {
 			betaSum += ws.Beta[len(ws.Beta)-1]
 			betaN++

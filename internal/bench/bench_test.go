@@ -309,3 +309,46 @@ func TestBetaFinalSurfaced(t *testing.T) {
 		t.Errorf("selective run surfaced β = %v", m.BetaFinal)
 	}
 }
+
+func TestPolicyMetricsSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.Smoke = true
+	ms, err := PolicyMetrics(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two algorithms x six modes, every row converged with its merged
+	// counter snapshot attached.
+	if len(ms) != 12 {
+		t.Fatalf("got %d measurements, want 12", len(ms))
+	}
+	for _, m := range ms {
+		if !m.Converged {
+			t.Errorf("%s/%s did not converge", m.Algo, m.Series)
+		}
+		if m.Flushes > 0 && int64(m.Metrics.MergeHistograms("flush.size.dst").Count) != m.Flushes {
+			t.Errorf("%s/%s: flush histogram count %d != Flushes %d",
+				m.Algo, m.Series, m.Metrics.MergeHistograms("flush.size.dst").Count, m.Flushes)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"tiny-rmat", "SSSP:", "PageRank:", "MRA+SyncAsync", "hold/rel", "refresh"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// The correlation signals the experiment exists for: the ordered scan
+	// should register refresh hits somewhere in the SSSP rows, and the
+	// priority threshold hold/release cycles in the PageRank rows.
+	var refresh, holds uint64
+	for _, m := range ms {
+		if m.Algo == "SSSP" {
+			refresh += m.Metrics.Counter("sched.refresh.hit")
+		}
+		if m.Algo == "PageRank" {
+			holds += m.Metrics.Counter("sched.hold")
+		}
+	}
+	t.Logf("refresh hits=%d holds=%d", refresh, holds)
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"powerlog/internal/agg"
+	"powerlog/internal/metrics"
 )
 
 type counter struct {
@@ -49,3 +50,23 @@ func handoff(c *counter, i int) {
 }
 
 func addOne(p *uint64) { atomic.AddUint64(p, 1) }
+
+// metricsClean must stay silent: the internal/metrics wrappers route
+// every access through atomic methods (atomic.Uint64 receivers), so the
+// analyzer — which only inspects address-taking call arguments — has
+// nothing to flag. This is the pattern the runtime's hot paths use.
+type metricsClean struct {
+	events metrics.Counter
+	sizes  metrics.Histogram
+	level  metrics.Gauge
+}
+
+func (m *metricsClean) record(n uint64) {
+	m.events.Inc()
+	m.sizes.Observe(n)
+	m.level.Set(float64(n))
+}
+
+func (m *metricsClean) report() (uint64, float64) {
+	return m.events.Load(), m.level.Load()
+}

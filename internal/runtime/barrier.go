@@ -135,6 +135,7 @@ func (w *worker) awaitPeerRounds(round int) {
 			}
 			w.handle(m)
 		case <-time.After(markerResend):
+			w.met.markerResends.Inc()
 			w.broadcastEndPhase(round)
 		}
 	}
@@ -159,6 +160,7 @@ func (w *worker) awaitVerdict() bool {
 				return false
 			}
 			if w.rounds > 0 {
+				w.met.markerResends.Inc()
 				w.broadcastEndPhase(w.rounds)
 			}
 		}

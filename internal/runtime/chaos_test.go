@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -245,21 +246,19 @@ func chaosAlgos() []chaosAlgo {
 	return algos
 }
 
-// chaosClass is one fault class of the matrix. barrierOnly restricts a
-// class to the BSP-verdict mode (MRASync).
+// chaosClass is one fault class of the matrix.
 type chaosClass struct {
-	name, spec  string
-	barrierOnly bool
+	name, spec string
 }
 
 // chaosClasses are the fault classes of the matrix. Duplicate delivery
 // is injected only for selective aggregates — their folds are idempotent
 // (Theorem 3's replay tolerance), while a duplicated sum delta would
-// genuinely change a combining result, so there is nothing to recover —
-// and only under BSP termination: the polling master's quiescence test
-// counts messages (Σsent == Σrecv), which inherently assumes
-// exactly-once delivery, so a duplicated batch would stall termination
-// even though the values themselves converge.
+// genuinely change a combining result, so there is nothing to recover.
+// It runs under every chaos mode: per-link sequence numbers let the
+// receiver count each batch exactly once (worker.go), so the polling
+// master's quiescence test (Σsent == Σrecv) stays sound even when the
+// wire re-delivers.
 func chaosClasses(selective bool) []chaosClass {
 	classes := []chaosClass{
 		{name: "stall", spec: "seed=1,stall=4:300us"},
@@ -269,7 +268,7 @@ func chaosClasses(selective bool) []chaosClass {
 		{name: "mrestart", spec: "seed=5,mrestart=3"},
 	}
 	if selective {
-		classes = append(classes, chaosClass{name: "dup", spec: "seed=6,sendfail=0.1,dup=0.2", barrierOnly: true})
+		classes = append(classes, chaosClass{name: "dup", spec: "seed=6,sendfail=0.1,dup=0.2"})
 	}
 	return classes
 }
@@ -304,9 +303,6 @@ func TestChaosMatrix(t *testing.T) {
 		}
 		for _, mode := range chaosModes {
 			for _, class := range chaosClasses(algo.selective) {
-				if class.barrierOnly && mode != MRASync {
-					continue
-				}
 				t.Run(fmt.Sprintf("%s/%v/%s", algo.name, mode, class.name), func(t *testing.T) {
 					db := edb.NewDB()
 					algo.setup(db)
@@ -523,6 +519,74 @@ func TestTornSnapshotRefusedOnRestore(t *testing.T) {
 	}
 }
 
+// TestMasterDetectsLostWorker kills a worker before it ever reports and
+// requires the master to surface ErrWorkerLost within the collect
+// deadline instead of hanging until MaxWall (the PR-4 follow-up). One
+// live responder keeps the protocol moving so the timeout isolates the
+// dead peer, not a stalled fleet: worker 0 answers every
+// StatsRequest/Continue with a dirty report, worker 1 stays silent.
+func TestMasterDetectsLostWorker(t *testing.T) {
+	g := gen.Uniform(100, 600, 10, 91)
+	db := edb.NewDB()
+	db.SetGraph("edge", g)
+	plan := compilePlan(t, progs.SSSP, db)
+	for _, mode := range []Mode{MRASync, MRASyncAsync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			net := transport.NewChannelNetwork(2, 64)
+			defer net.Close()
+			responder := net.Conn(0)
+			masterConn := net.Conn(transport.MasterID(2))
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				if modeBarriered[mode] {
+					_ = responder.Send(transport.MasterID(2),
+						transport.Message{Kind: transport.PhaseDone, Stats: transport.Stats{Dirty: true, AccDelta: 1}})
+				}
+				for {
+					var m transport.Message
+					var ok bool
+					select {
+					case m, ok = <-responder.Inbox():
+					case <-stop:
+						return
+					}
+					if !ok {
+						return
+					}
+					switch m.Kind {
+					case transport.StatsRequest:
+						_ = responder.Send(transport.MasterID(2), transport.Message{
+							Kind: transport.StatsReply, Round: m.Round,
+							Stats: transport.Stats{Dirty: true, Sent: 1},
+						})
+					case transport.Continue:
+						_ = responder.Send(transport.MasterID(2),
+							transport.Message{Kind: transport.PhaseDone, Stats: transport.Stats{Dirty: true, AccDelta: 1}})
+					case transport.Stop:
+						return
+					}
+				}
+			}()
+			cfg := Config{
+				Mode:           mode,
+				CheckInterval:  300 * time.Microsecond,
+				CollectTimeout: 400 * time.Millisecond,
+				MaxWall:        30 * time.Second,
+			}
+			start := time.Now()
+			_, _, err := RunMaster(plan, cfg, masterConn)
+			elapsed := time.Since(start)
+			if !errors.Is(err, ErrWorkerLost) {
+				t.Fatalf("master returned %v, want ErrWorkerLost", err)
+			}
+			if elapsed > 10*time.Second {
+				t.Fatalf("detection took %v — the collect deadline (400ms) did not bound the wait", elapsed)
+			}
+		})
+	}
+}
+
 // failingConn always fails Send — the worker's comm loop must exhaust
 // its retries and surface the error through RunWorker rather than
 // swallowing it and computing into a dead network.
@@ -559,5 +623,40 @@ func TestWorkerSurfacesSendErrors(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("worker hung on a dead send path instead of surfacing the error")
+	}
+}
+
+// TestDedupWindow pins the delivered-once filter behind dup-tolerant
+// termination: exact under FIFO redelivery, adversarial reordering, and
+// both at once — and allocation-free on the fault-free in-order path.
+func TestDedupWindow(t *testing.T) {
+	cases := []struct {
+		name string
+		seqs []int64
+		want []bool
+	}{
+		{"in-order", []int64{1, 2, 3, 4}, []bool{true, true, true, true}},
+		{"fifo-redelivery", []int64{1, 1, 2, 2, 3}, []bool{true, false, true, false, true}},
+		{"reordered", []int64{2, 1, 4, 3}, []bool{true, true, true, true}},
+		{"reordered-dup", []int64{2, 1, 2, 1, 3}, []bool{true, true, false, false, true}},
+		{"gap-then-fill", []int64{1, 3, 5, 2, 4, 5}, []bool{true, true, true, true, true, false}},
+	}
+	for _, tc := range cases {
+		var d dedupWindow
+		for i, seq := range tc.seqs {
+			if got := d.fresh(seq); got != tc.want[i] {
+				t.Errorf("%s: fresh(%d) at step %d = %v, want %v", tc.name, seq, i, got, tc.want[i])
+			}
+		}
+		if len(cases[0].seqs) > 0 && tc.name == "gap-then-fill" && len(d.pending) != 0 {
+			t.Errorf("%s: window retained %d pending entries after closing the gaps", tc.name, len(d.pending))
+		}
+	}
+	var d dedupWindow
+	d.fresh(1)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		d.fresh(d.next)
+	}); allocs != 0 {
+		t.Errorf("in-order fresh allocates %v/op, want 0", allocs)
 	}
 }

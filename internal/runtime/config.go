@@ -12,9 +12,11 @@
 package runtime
 
 import (
+	"io"
 	"time"
 
 	"powerlog/internal/fault"
+	"powerlog/internal/metrics"
 )
 
 // Mode selects the evaluation strategy.
@@ -74,6 +76,17 @@ type Config struct {
 
 	// CheckInterval is the master's termination-check period (default 1ms).
 	CheckInterval time.Duration
+	// CollectTimeout bounds how long the master waits for any single
+	// report during a collect (PhaseDone or StatsReply). A worker dying
+	// mid-collect then surfaces as ErrWorkerLost instead of a hang. The
+	// deadline covers one message, so it effectively resets on every
+	// report. 0 (the default) falls back to MaxWall — a dead worker
+	// still cannot hang the run, and a healthy run with long compute
+	// passes cannot trip it spuriously. A timeout landing past the wall
+	// budget (always the case for the fallback) is reported as an
+	// ordinary non-converged abort; only a timeout within the budget is
+	// a lost worker.
+	CollectTimeout time.Duration
 	// PriorityThreshold enables §5.4's importance-based flushing for
 	// combining aggregates: deltas below the threshold wait in the local
 	// intermediate until the worker has no other work. 0 disables.
@@ -115,6 +128,16 @@ type Config struct {
 	// master's crash/restart hooks. nil (the default) injects nothing
 	// and adds nothing to the hot path.
 	Fault *fault.Injector
+
+	// MetricsEvery enables the opt-in periodic metrics dump for long
+	// in-process runs: every interval, each worker's and the master's
+	// registry snapshot is rendered as text to MetricsLog (default
+	// os.Stderr). 0 disables the dump; the metrics themselves are always
+	// collected (the hot path is a handful of atomic adds) and surfaced
+	// through Result.Workers[*].Metrics and Result.Master.
+	MetricsEvery time.Duration
+	// MetricsLog is the periodic dump's destination (nil = os.Stderr).
+	MetricsLog io.Writer
 
 	// Network emulates the paper's cluster fabric on the in-process
 	// transport (17 Aliyun nodes, 1.5 Gbps): each outgoing message costs
@@ -195,6 +218,9 @@ type Result struct {
 	Converged bool
 	// Workers holds per-worker observability, indexed by worker id.
 	Workers []WorkerStats
+	// Master snapshots the termination controller's metrics (protocol
+	// rounds, collect-wait histogram, liveness timeouts).
+	Master metrics.Snapshot
 }
 
 // WorkerStats is one worker's per-run observability: how the mode's
@@ -213,4 +239,9 @@ type WorkerStats struct {
 	// StragglerWait is the total time an MRASSP worker spent blocked at
 	// the staleness gate waiting for slower peers.
 	StragglerWait time.Duration
+	// Metrics is the worker's full per-policy metric snapshot (DESIGN.md
+	// §8): hold/release cycles, ordered-scan refresh hits,
+	// per-destination flush-size histograms, β band exits and clamps,
+	// straggler-wait histogram, marker retransmits, duplicate batches.
+	Metrics metrics.Snapshot
 }

@@ -122,7 +122,9 @@ func (m *master) runEpisode(epoch int) bool {
 		var msg transport.Message
 		var ok bool
 		if len(m.pending) > 0 {
-			msg, ok = m.recv()
+			// The stash path cannot time out; the episode has its own
+			// deadline below.
+			msg, ok, _ = m.recv()
 		} else {
 			select {
 			case msg, ok = <-m.conn.Inbox():

@@ -1,6 +1,10 @@
 package runtime
 
-import "time"
+import (
+	"time"
+
+	"powerlog/internal/metrics"
+)
 
 // FlushPolicy implementations (§5.3). Each existing mode's flush
 // behaviour is transcribed bit-for-bit from the former emitAsync /
@@ -87,21 +91,30 @@ type adaptiveBetaFlush struct {
 	// samples records the mean β over peers after each adaptation — the
 	// β trajectory surfaced through Result.Workers.
 	samples []float64
+
+	// Per-decision observability (DESIGN.md §8): how many per-destination
+	// window checks stayed inside the [β/(r·τ), r·β/τ] band, how many left
+	// it (triggering a β reset), and how often the reset hit the clamp.
+	bandIn, bandExit, clampFloor, clampCeil *metrics.Counter
 }
 
 // betaSampleCap bounds the β trajectory kept for observability.
 const betaSampleCap = 512
 
-func newAdaptiveBetaFlush(cfg Config, self int) *adaptiveBetaFlush {
+func newAdaptiveBetaFlush(cfg Config, self int, reg *metrics.Registry) *adaptiveBetaFlush {
 	p := &adaptiveBetaFlush{
-		self:      self,
-		urgent:    cfg.PriorityThreshold,
-		tau:       cfg.Tau,
-		alpha:     cfg.Alpha,
-		r:         cfg.R,
-		betaFloor: float64(cfg.BetaInit) / 4,
-		betaCeil:  float64(2 * cfg.BetaInit),
-		beta:      make([]float64, cfg.Workers),
+		self:       self,
+		urgent:     cfg.PriorityThreshold,
+		tau:        cfg.Tau,
+		alpha:      cfg.Alpha,
+		r:          cfg.R,
+		betaFloor:  float64(cfg.BetaInit) / 4,
+		betaCeil:   float64(2 * cfg.BetaInit),
+		beta:       make([]float64, cfg.Workers),
+		bandIn:     reg.Counter("flush.beta.band.in"),
+		bandExit:   reg.Counter("flush.beta.band.exit"),
+		clampFloor: reg.Counter("flush.beta.clamp.floor"),
+		clampCeil:  reg.Counter("flush.beta.clamp.ceil"),
 	}
 	for j := range p.beta {
 		p.beta[j] = float64(cfg.BetaInit)
@@ -126,6 +139,14 @@ func (p *adaptiveBetaFlush) adapt(now time.Time, win *window) {
 	}
 	tau := p.tau.Seconds()
 	dts := dT.Seconds()
+	if dts <= 0 {
+		// Two updates inside one clock tick (reachable when τ == 0, where
+		// the 4τ gate above never filters): the rate |B(i,j)|/ΔT is
+		// undefined and α·τ·|B(i,j)|/ΔT would push Inf/NaN past the clamp
+		// comparisons. Skip the window — the counts keep accumulating and
+		// the next tick with an elapsed clock adapts over them.
+		return
+	}
 	for j := range p.beta {
 		if j == p.self {
 			continue
@@ -134,14 +155,19 @@ func (p *adaptiveBetaFlush) adapt(now time.Time, win *window) {
 		hi := p.r * p.beta[j] / tau
 		lo := p.beta[j] / (p.r * tau)
 		if rate > hi || rate < lo {
+			p.bandExit.Inc()
 			b := p.alpha * tau * rate
 			if b < p.betaFloor {
 				b = p.betaFloor
+				p.clampFloor.Inc()
 			}
 			if b > p.betaCeil {
 				b = p.betaCeil
+				p.clampCeil.Inc()
 			}
 			p.beta[j] = b
+		} else {
+			p.bandIn.Inc()
 		}
 		win.counts[j] = 0
 	}

@@ -1,12 +1,20 @@
 package runtime
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"time"
 
 	"powerlog/internal/compiler"
 	"powerlog/internal/transport"
 )
+
+// ErrWorkerLost is surfaced (wrapped) by Run and RunMaster when a
+// collect round times out: a worker died or was partitioned away
+// mid-collect, so its PhaseDone/StatsReply will never arrive. Without
+// the deadline the master would block forever (the PR-4 follow-up).
+var ErrWorkerLost = errors.New("worker lost: missing report within the collect deadline")
 
 // master coordinates termination. For BSP modes it collects PhaseDone
 // reports and issues Continue/Stop verdicts; for async modes it polls
@@ -20,13 +28,29 @@ type master struct {
 	nw   int
 
 	pending []transport.Message // messages received while sending
+	timer   *time.Timer         // reused collect-deadline timer
+
+	met masterMetrics // observe.go: rounds, collect waits, timeouts
 
 	rounds    int
 	converged bool
+	err       error // first liveness failure (wraps ErrWorkerLost)
 }
 
 func newMaster(cfg Config, plan *compiler.Plan, conn transport.Conn) *master {
-	return &master{cfg: cfg, plan: plan, conn: conn, nw: cfg.Workers}
+	return &master{cfg: cfg, plan: plan, conn: conn, nw: cfg.Workers, met: newMasterMetrics()}
+}
+
+// collectTimeout is the liveness deadline for one message during a
+// collect. CollectTimeout = 0 falls back to MaxWall: better a typed
+// error at the wall-clock cap than a hang, without risking false
+// positives on long compute passes (workers only pump their inboxes at
+// blocking points, so a tight default could misfire).
+func (m *master) collectTimeout() time.Duration {
+	if m.cfg.CollectTimeout > 0 {
+		return m.cfg.CollectTimeout
+	}
+	return m.cfg.MaxWall
 }
 
 // bcast sends msg to every worker without blocking on a back-pressured
@@ -60,15 +84,46 @@ func (m *master) bcast(msg transport.Message) {
 	}
 }
 
-// recv returns the next incoming message, honouring the pending stash.
-func (m *master) recv() (transport.Message, bool) {
+// recv returns the next incoming message, honouring the pending stash
+// and giving up after the collect deadline. timedOut distinguishes a
+// deadline expiry (worker lost) from a closed network (ok == false).
+// The deadline covers one message, so it effectively resets on every
+// report — a collect stalls only when some worker has gone silent for
+// the whole timeout, not merely when the fleet reports slowly.
+func (m *master) recv() (msg transport.Message, ok, timedOut bool) {
 	if len(m.pending) > 0 {
-		msg := m.pending[0]
+		msg = m.pending[0]
 		m.pending = m.pending[1:]
-		return msg, true
+		return msg, true, false
 	}
-	msg, ok := <-m.conn.Inbox()
-	return msg, ok
+	d := m.collectTimeout()
+	if m.timer == nil {
+		m.timer = time.NewTimer(d)
+	} else {
+		m.timer.Reset(d)
+	}
+	select {
+	case msg, ok = <-m.conn.Inbox():
+		// Single-goroutine use: a failed Stop means the timer fired
+		// concurrently, so its channel holds exactly one value to drain.
+		if !m.timer.Stop() {
+			<-m.timer.C
+		}
+		return msg, ok, false
+	case <-m.timer.C:
+		return transport.Message{}, true, true
+	}
+}
+
+// lost records a liveness failure — got of nw reports arrived before the
+// deadline — and broadcasts a best-effort Stop so surviving workers
+// (including BSP peers stuck in awaitPeerRounds on the dead worker's
+// marker) unwind instead of hanging.
+func (m *master) lost(round, got int) {
+	m.met.collectTimeouts.Inc()
+	m.err = fmt.Errorf("runtime: collect round %d got %d/%d reports within %v: %w",
+		round, got, m.nw, m.collectTimeout(), ErrWorkerLost)
+	m.bcast(transport.Message{Kind: transport.Stop})
 }
 
 func (m *master) run() {
@@ -113,11 +168,24 @@ func (m *master) runBSP() {
 			// can only delay the stop decision, never corrupt it.
 			armed = false
 		}
+		m.met.rounds.Inc()
+		collectStart := time.Now()
 		var sumDelta float64
 		anyDirty := false
 		for got := 0; got < m.nw; {
-			msg, ok := m.recv()
+			msg, ok, timedOut := m.recv()
 			if !ok {
+				return
+			}
+			if timedOut {
+				if time.Now().After(deadline) {
+					// The wall budget expired mid-collect: an honest
+					// not-converged abort (the MaxWall fallback deadline
+					// always lands here), not a lost worker.
+					m.bcast(transport.Message{Kind: transport.Stop})
+					return
+				}
+				m.lost(round, got)
 				return
 			}
 			if msg.Kind != transport.PhaseDone {
@@ -127,6 +195,7 @@ func (m *master) runBSP() {
 			sumDelta += msg.Stats.AccDelta
 			anyDirty = anyDirty || msg.Stats.Dirty
 		}
+		m.met.collectWaitUS.Observe(uint64(time.Since(collectStart).Microseconds()))
 		stop := false
 		switch {
 		case eps > 0:
@@ -197,13 +266,24 @@ func (m *master) runAsync() {
 			return
 		}
 		time.Sleep(m.cfg.CheckInterval)
+		m.met.rounds.Inc()
 		m.bcast(transport.Message{Kind: transport.StatsRequest, Round: round})
+		collectStart := time.Now()
 		var sent, recv, passes int64
 		var accSum float64
 		allIdle, anyDirty := true, false
 		for got := 0; got < m.nw; {
-			msg, ok := m.recv()
+			msg, ok, timedOut := m.recv()
 			if !ok {
+				return
+			}
+			if timedOut {
+				if time.Now().After(deadline) {
+					// Wall abort, not a lost worker (see runBSP).
+					m.bcast(transport.Message{Kind: transport.Stop})
+					return
+				}
+				m.lost(round, got)
 				return
 			}
 			if msg.Kind != transport.StatsReply || msg.Round != round {
@@ -217,6 +297,7 @@ func (m *master) runAsync() {
 			allIdle = allIdle && msg.Stats.Idle
 			anyDirty = anyDirty || msg.Stats.Dirty
 		}
+		m.met.collectWaitUS.Observe(uint64(time.Since(collectStart).Microseconds()))
 		stable := allIdle && sent == recv && !anyDirty
 		stop := false
 		if stable && prevStable {

@@ -1,0 +1,137 @@
+package runtime
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"powerlog/internal/metrics"
+)
+
+// This file holds the runtime's observability plumbing (DESIGN.md §8):
+// the per-worker and master metric sets registered into
+// internal/metrics registries, and the opt-in periodic text dump. The
+// policies register their own counters through the registry handed to
+// the policy factory (policy.go); everything here is the worker- and
+// master-owned remainder.
+
+// workerMetrics is one worker's pre-resolved metric handles. They are
+// resolved once in newWorker so the hot paths (flush, handle, refresh)
+// pay a single atomic op per event — no map lookups, no allocations.
+type workerMetrics struct {
+	reg *metrics.Registry
+
+	// flushSize[j] is the per-destination flush-size histogram
+	// ("flush.size.dst<j>", KVs per Data batch) — which destinations
+	// dominate traffic and how well the β dial is batching.
+	flushSize []*metrics.Histogram
+	// refreshHits counts ordered-scan mid-pass refreshes that actually
+	// folded a newer delta ("sched.refresh.hit") — the delta-stepping
+	// saving made visible.
+	refreshHits *metrics.Counter
+	// recvBatches / dupBatches split inbound Data batches into
+	// first deliveries and duplicates ("recv.batch" / "recv.dup.batch");
+	// duplicates fold idempotently but stay out of the termination
+	// watermark (see handle).
+	recvBatches *metrics.Counter
+	dupBatches  *metrics.Counter
+	// markerResends counts EndPhase retransmissions from stalled barrier
+	// or staleness-gate waits ("barrier.marker.resend").
+	markerResends *metrics.Counter
+	// stragglerUS is the per-block straggler-wait histogram in
+	// microseconds ("barrier.straggler.wait_us"), one observation per
+	// SSP gate block.
+	stragglerUS *metrics.Histogram
+}
+
+func newWorkerMetrics(nw int) workerMetrics {
+	reg := metrics.NewRegistry()
+	m := workerMetrics{
+		reg:           reg,
+		flushSize:     make([]*metrics.Histogram, nw),
+		refreshHits:   reg.Counter("sched.refresh.hit"),
+		recvBatches:   reg.Counter("recv.batch"),
+		dupBatches:    reg.Counter("recv.dup.batch"),
+		markerResends: reg.Counter("barrier.marker.resend"),
+		stragglerUS:   reg.Histogram("barrier.straggler.wait_us"),
+	}
+	for j := range m.flushSize {
+		m.flushSize[j] = reg.Histogram(fmt.Sprintf("flush.size.dst%d", j))
+	}
+	return m
+}
+
+// masterMetrics is the termination controller's metric set.
+type masterMetrics struct {
+	reg *metrics.Registry
+
+	// rounds counts master protocol rounds ("master.round": BSP
+	// supersteps or async check rounds).
+	rounds *metrics.Counter
+	// collectWaitUS is the per-round collect latency in microseconds
+	// ("master.collect.wait_us"): broadcast to last report.
+	collectWaitUS *metrics.Histogram
+	// collectTimeouts counts collects abandoned at the liveness deadline
+	// ("master.collect.timeout") — each one is an ErrWorkerLost.
+	collectTimeouts *metrics.Counter
+}
+
+func newMasterMetrics() masterMetrics {
+	reg := metrics.NewRegistry()
+	return masterMetrics{
+		reg:             reg,
+		rounds:          reg.Counter("master.round"),
+		collectWaitUS:   reg.Histogram("master.collect.wait_us"),
+		collectTimeouts: reg.Counter("master.collect.timeout"),
+	}
+}
+
+// metricsDumper is the opt-in periodic text dump for long runs
+// (Config.MetricsEvery): a ticker goroutine snapshots every registry —
+// safe while writers run — and renders them through metrics.WriteText.
+type metricsDumper struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// startMetricsDump launches the dump goroutine, or returns nil when the
+// feature is off.
+func startMetricsDump(cfg Config, workers []*worker, m *master) *metricsDumper {
+	if cfg.MetricsEvery <= 0 {
+		return nil
+	}
+	sink := cfg.MetricsLog
+	if sink == nil {
+		sink = os.Stderr
+	}
+	d := &metricsDumper{stop: make(chan struct{})}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(cfg.MetricsEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case now := <-t.C:
+				fmt.Fprintf(sink, "-- metrics @ %s --\n", now.Format("15:04:05.000"))
+				for _, w := range workers {
+					metrics.WriteText(sink, fmt.Sprintf("w%d", w.id), w.met.reg.Snapshot())
+				}
+				metrics.WriteText(sink, "master", m.met.reg.Snapshot())
+			}
+		}
+	}()
+	return d
+}
+
+// close stops the dump goroutine and waits for it (nil-safe).
+func (d *metricsDumper) close() {
+	if d == nil {
+		return
+	}
+	close(d.stop)
+	d.wg.Wait()
+}

@@ -5,6 +5,7 @@ import (
 
 	"powerlog/internal/agg"
 	"powerlog/internal/compiler"
+	"powerlog/internal/metrics"
 )
 
 // This file defines the runtime's policy layers. The paper's central
@@ -101,8 +102,11 @@ type policySet struct {
 	pass    func(*worker) int
 }
 
-// policyFactory builds a mode's policySet for one worker.
-type policyFactory func(cfg Config, plan *compiler.Plan, self int) policySet
+// policyFactory builds a mode's policySet for one worker. reg is the
+// worker's metrics registry; policies register their per-decision
+// counters into it (DESIGN.md §8) and the worker surfaces a snapshot
+// through Result.Workers.
+type policyFactory func(cfg Config, plan *compiler.Plan, self int, reg *metrics.Registry) policySet
 
 var (
 	modeFactories = map[Mode]policyFactory{}
@@ -124,8 +128,8 @@ func modeRegistered(m Mode) bool { _, ok := modeFactories[m]; return ok }
 
 // policiesFor builds the worker's policy set. The caller must have
 // validated the mode with modeRegistered.
-func policiesFor(cfg Config, plan *compiler.Plan, self int) policySet {
-	return modeFactories[cfg.Mode](cfg, plan, self)
+func policiesFor(cfg Config, plan *compiler.Plan, self int, reg *metrics.Registry) policySet {
+	return modeFactories[cfg.Mode](cfg, plan, self, reg)
 }
 
 func init() {
@@ -139,7 +143,7 @@ func init() {
 // newNaiveSyncPolicies: SociaLite-style naive evaluation — re-derive the
 // full result each superstep under BSP barriers, flushing only at
 // superstep end.
-func newNaiveSyncPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
+func newNaiveSyncPolicies(cfg Config, plan *compiler.Plan, self int, reg *metrics.Registry) policySet {
 	return policySet{
 		flush:   barrierFlush{},
 		sched:   baseScheduler(cfg, plan),
@@ -150,7 +154,7 @@ func newNaiveSyncPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
 
 // newMRASyncPolicies: BigDatalog-style semi-naive evaluation under BSP
 // barriers.
-func newMRASyncPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
+func newMRASyncPolicies(cfg Config, plan *compiler.Plan, self int, reg *metrics.Registry) policySet {
 	return policySet{
 		flush:   barrierFlush{},
 		sched:   baseScheduler(cfg, plan),
@@ -161,10 +165,10 @@ func newMRASyncPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
 
 // newMRAAsyncPolicies: Myria-style maximum asynchrony — eager small
 // batches, no barrier.
-func newMRAAsyncPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
+func newMRAAsyncPolicies(cfg Config, plan *compiler.Plan, self int, reg *metrics.Registry) policySet {
 	return policySet{
 		flush:   eagerFlush{urgent: cfg.PriorityThreshold},
-		sched:   withPriorityHold(baseScheduler(cfg, plan), cfg, plan),
+		sched:   withPriorityHold(baseScheduler(cfg, plan), cfg, plan, reg),
 		barrier: freeRun{},
 		pass:    (*worker).scanPass,
 	}
@@ -174,16 +178,16 @@ func newMRAAsyncPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
 // aggregates stay on the eager end of the dial (a stale bound must be
 // corrected later, so freshness beats batching); combining aggregates
 // run the adaptive-β buffer rule of §5.3.
-func newUnifiedPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
+func newUnifiedPolicies(cfg Config, plan *compiler.Plan, self int, reg *metrics.Registry) policySet {
 	var flush FlushPolicy
 	if plan.Op.Selective() {
 		flush = eagerFlush{urgent: cfg.PriorityThreshold}
 	} else {
-		flush = newAdaptiveBetaFlush(cfg, self)
+		flush = newAdaptiveBetaFlush(cfg, self, reg)
 	}
 	return policySet{
 		flush:   flush,
-		sched:   withPriorityHold(baseScheduler(cfg, plan), cfg, plan),
+		sched:   withPriorityHold(baseScheduler(cfg, plan), cfg, plan, reg),
 		barrier: freeRun{},
 		pass:    (*worker).scanPass,
 	}
@@ -191,10 +195,10 @@ func newUnifiedPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
 
 // newAAPPolicies: Grape+-style adaptive asynchronous parallel (§6.5) —
 // fixed β with a per-worker delay switch driven by in-message volume.
-func newAAPPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
+func newAAPPolicies(cfg Config, plan *compiler.Plan, self int, reg *metrics.Registry) policySet {
 	return policySet{
 		flush:   &fixedBetaFlush{beta: cfg.BetaInit, tau: cfg.Tau, urgent: cfg.PriorityThreshold},
-		sched:   withPriorityHold(baseScheduler(cfg, plan), cfg, plan),
+		sched:   withPriorityHold(baseScheduler(cfg, plan), cfg, plan, reg),
 		barrier: freeRun{},
 		pass:    (*worker).scanPass,
 	}
@@ -213,9 +217,14 @@ func baseScheduler(cfg Config, plan *compiler.Plan) Scheduler {
 // order. It applies only to combining aggregates with a positive
 // threshold (selective aggregates must forward improvements promptly,
 // and applyPriorityDefault zeroes their threshold anyway).
-func withPriorityHold(inner Scheduler, cfg Config, plan *compiler.Plan) Scheduler {
+func withPriorityHold(inner Scheduler, cfg Config, plan *compiler.Plan, reg *metrics.Registry) Scheduler {
 	if cfg.PriorityThreshold > 0 && !plan.Op.Selective() {
-		return &priorityHold{inner: inner, threshold: cfg.PriorityThreshold}
+		return &priorityHold{
+			inner:     inner,
+			threshold: cfg.PriorityThreshold,
+			holds:     reg.Counter("sched.hold"),
+			releases:  reg.Counter("sched.release"),
+		}
 	}
 	return inner
 }

@@ -70,6 +70,7 @@ func Run(plan *compiler.Plan, cfg Config) (*Result, error) {
 	}
 
 	m := newMaster(cfg, plan, net.Conn(transport.MasterID(cfg.Workers)))
+	dump := startMetricsDump(cfg, workers, m)
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -83,14 +84,20 @@ func Run(plan *compiler.Plan, cfg Config) (*Result, error) {
 	m.run()
 	wg.Wait()
 	elapsed := time.Since(start)
+	dump.close()
 	net.Close()
 
 	// Worker goroutines have exited, so sendErr reads are race-free
-	// (each worker's run() waits for its comm goroutine).
+	// (each worker's run() waits for its comm goroutine). A dead send
+	// path is the root cause of any master liveness timeout, so it is
+	// reported first.
 	for _, w := range workers {
 		if w.sendErr != nil {
 			return nil, fmt.Errorf("runtime: worker %d send failed: %w", w.id, w.sendErr)
 		}
+	}
+	if m.err != nil {
+		return nil, m.err
 	}
 
 	res := &Result{
@@ -98,6 +105,7 @@ func Run(plan *compiler.Plan, cfg Config) (*Result, error) {
 		Rounds:    m.rounds,
 		Elapsed:   elapsed,
 		Converged: m.converged,
+		Master:    m.met.reg.Snapshot(),
 	}
 	for _, w := range workers {
 		res.MessagesSent += w.sent
@@ -121,6 +129,7 @@ func (w *worker) stats() WorkerStats {
 		Flushes:       w.flushes,
 		Passes:        w.passes,
 		StragglerWait: w.stragglerWait,
+		Metrics:       w.met.reg.Snapshot(),
 	}
 	if r, ok := w.pol.flush.(betaReporter); ok {
 		ws.Beta = r.betaTrajectory()
@@ -198,5 +207,5 @@ func RunMaster(plan *compiler.Plan, cfg Config, conn transport.Conn) (rounds int
 	cfg.Workers = conn.Workers()
 	m := newMaster(cfg, plan, conn)
 	m.run()
-	return m.rounds, m.converged, nil
+	return m.rounds, m.converged, m.err
 }

@@ -1,6 +1,10 @@
 package runtime
 
-import "sort"
+import (
+	"sort"
+
+	"powerlog/internal/metrics"
+)
 
 // Scheduler implementations (§5.4): drain order and low-priority
 // holding as strategies, replacing the former inline branches in the
@@ -51,6 +55,11 @@ type priorityHold struct {
 	threshold float64
 	off       bool // released: let small deltas through
 	held      bool // at least one delta is waiting locally
+
+	// Per-decision observability (DESIGN.md §8): sched.hold counts
+	// deltas parked below the threshold, sched.release counts the
+	// hold→release cycles taken when the worker would otherwise idle.
+	holds, releases *metrics.Counter
 }
 
 func (s *priorityHold) arrange(batch []drained) { s.inner.arrange(batch) }
@@ -64,6 +73,7 @@ func (s *priorityHold) hold(v float64) bool {
 	// the held flag keeps the idle detector from treating that as
 	// pending work forever.
 	s.held = true
+	s.holds.Inc()
 	return true
 }
 
@@ -72,6 +82,7 @@ func (s *priorityHold) release() bool {
 		return false
 	}
 	s.off, s.held = true, false
+	s.releases.Inc()
 	return true
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"powerlog/internal/compiler"
+	"powerlog/internal/metrics"
 )
 
 // MRASSP — stale synchronous parallel evaluation — is the point between
@@ -28,12 +29,12 @@ func init() {
 	registerMode(MRASSP, false, newSSPPolicies)
 }
 
-func newSSPPolicies(cfg Config, plan *compiler.Plan, self int) policySet {
+func newSSPPolicies(cfg Config, plan *compiler.Plan, self int, reg *metrics.Registry) policySet {
 	return policySet{
 		// Superstep batching: buffers flush only when the step ends
 		// (barrier semantics), never on emit or the τ timer.
 		flush:   barrierFlush{},
-		sched:   withPriorityHold(baseScheduler(cfg, plan), cfg, plan),
+		sched:   withPriorityHold(baseScheduler(cfg, plan), cfg, plan, reg),
 		barrier: &sspBarrier{staleness: cfg.Staleness},
 		pass:    (*worker).scanPass,
 	}
@@ -148,11 +149,14 @@ func (b *sspBarrier) awaitPeerSteps(w *worker, need int) {
 			w.handle(m)
 			w.maybeSnapshot()
 		case <-time.After(markerResend):
+			w.met.markerResends.Inc()
 			w.broadcastEndPhase(b.steps)
 		}
 	}
 done:
 	if !start.IsZero() {
-		w.stragglerWait += time.Since(start)
+		blocked := time.Since(start)
+		w.stragglerWait += blocked
+		w.met.stragglerUS.Observe(uint64(blocked.Microseconds()))
 	}
 }

@@ -48,6 +48,20 @@ type worker struct {
 	lastFlush []time.Time
 	win       window // traffic window ΔT driving FlushPolicy adaptation
 
+	met workerMetrics // per-policy observability (observe.go, DESIGN.md §8)
+
+	// Per-link Data sequencing for dup-tolerant termination: dataSeq[j]
+	// is the last sequence number stamped (in Message.Round) on a batch
+	// to destination j; dataSeen[s] dedups deliveries from sender s. A
+	// redelivered batch's KVs still fold (duplicates are only injected
+	// for selective programs, where re-folding is idempotent by Theorem
+	// 3), but it is excluded from the recv watermark — otherwise Σrecv
+	// could overtake Σsent and falsify the master's counting-quiescence
+	// and ε-confirm tests. The window is exact under reordering, not just
+	// FIFO redelivery: an out-of-order first delivery must still count.
+	dataSeq  []int64
+	dataSeen []dedupWindow
+
 	sent, recv int64
 	flushes    int64
 	accDelta   float64 // Σ|acc change| since last stats reply
@@ -136,12 +150,15 @@ func newWorker(id int, cfg Config, plan *compiler.Plan, conn transport.Conn) *wo
 		lastFlush: make([]time.Time, cfg.Workers),
 		peerSteps: make([]int, cfg.Workers),
 		snapMarks: make([]int, cfg.Workers),
+		dataSeq:   make([]int64, cfg.Workers),
+		dataSeen:  make([]dedupWindow, cfg.Workers),
 		win: window{
 			start:  time.Now(),
 			counts: make([]int64, cfg.Workers),
 		},
 	}
-	w.pol = policiesFor(cfg, plan, id)
+	w.met = newWorkerMetrics(cfg.Workers)
+	w.pol = policiesFor(cfg, plan, id, w.met.reg)
 	if cfg.Fault != nil {
 		// Straggler injection decorates the mode's barrier from outside
 		// (inject.go): the policy seams absorb the fault layer with no
@@ -328,16 +345,74 @@ func (w *worker) enqueue(to int, m transport.Message) {
 	}
 }
 
+// dedupWindow is an exact delivered-once filter over one link's Data
+// sequence numbers (stamped from 1 in flush). next is the lowest
+// sequence not yet contiguously delivered; pending holds delivered
+// sequences at or above next that arrived out of order. On the fault-free
+// FIFO path every arrival is exactly next, so the window is a single
+// compare-and-increment and pending stays nil — no allocations. Under
+// injected duplication or adversarial reordering the map grows only to
+// the link's momentary out-of-orderness.
+type dedupWindow struct {
+	next    int64
+	pending map[int64]struct{}
+}
+
+// fresh reports whether seq is a first delivery, recording it.
+func (d *dedupWindow) fresh(seq int64) bool {
+	if d.next == 0 {
+		d.next = 1 // sequences are stamped from 1
+	}
+	if seq < d.next {
+		return false
+	}
+	if _, dup := d.pending[seq]; dup {
+		return false
+	}
+	if seq == d.next {
+		d.next++
+		for len(d.pending) > 0 {
+			if _, ok := d.pending[d.next]; !ok {
+				break
+			}
+			delete(d.pending, d.next)
+			d.next++
+		}
+		return true
+	}
+	if d.pending == nil {
+		d.pending = make(map[int64]struct{})
+	}
+	d.pending[seq] = struct{}{}
+	return true
+}
+
 // handle processes one incoming message. It is called from every place
 // the worker blocks, so it must only mutate worker-local state.
 func (w *worker) handle(m transport.Message) {
 	switch m.Kind {
 	case transport.Data:
+		// Round carries the sender's per-link sequence number (stamped in
+		// flush); the dedup window decides whether this is the sequence's
+		// first delivery.
+		fresh := true
+		if m.From >= 0 && m.From < len(w.dataSeen) {
+			fresh = w.dataSeen[m.From].fresh(int64(m.Round))
+		}
+		n := int64(len(m.KVs))
 		for _, kv := range m.KVs {
 			w.apply.FoldDelta(kv.K, kv.V)
 		}
-		w.recv += int64(len(m.KVs))
-		w.win.in += int64(len(m.KVs))
+		if fresh {
+			w.recv += n
+			w.win.in += n
+			w.met.recvBatches.Inc()
+		} else {
+			// Duplicate: folded (idempotent for the selective programs
+			// duplicates are injected on) but kept out of the recv
+			// watermark so counting quiescence still balances.
+			w.met.dupBatches.Inc()
+		}
 		// The batch is spent; recycle it (see the contract in transport).
 		transport.PutBatch(m.KVs)
 	case transport.EndPhase:
@@ -461,7 +536,10 @@ func (w *worker) snapshot(epoch int, cut bool) error {
 	return ckpt.SaveShard(w.cfg.SnapshotDir, meta, rows)
 }
 
-// flush sends buffer j if it is non-empty.
+// flush sends buffer j if it is non-empty. Each Data batch is stamped
+// with the next per-link sequence number (in Round; the field is unused
+// by Data otherwise) so the receiver can discard redeliveries from the
+// termination watermark.
 func (w *worker) flush(j int) {
 	kvs := w.bufs[j].take()
 	if len(kvs) == 0 {
@@ -471,7 +549,9 @@ func (w *worker) flush(j int) {
 	w.win.out += int64(len(kvs))
 	w.flushes++
 	w.lastFlush[j] = time.Now()
-	w.enqueue(j, transport.Message{Kind: transport.Data, KVs: kvs})
+	w.met.flushSize[j].Observe(uint64(len(kvs)))
+	w.dataSeq[j]++
+	w.enqueue(j, transport.Message{Kind: transport.Data, Round: int(w.dataSeq[j]), KVs: kvs})
 }
 
 func (w *worker) flushAll() {
@@ -584,6 +664,7 @@ func (w *worker) drainSnapshot() []drained {
 func (w *worker) refresh(d *drained) {
 	if v, ok := w.table.Drain(d.key); ok {
 		d.val = w.plan.Op.Fold(d.val, v)
+		w.met.refreshHits.Inc()
 	}
 }
 

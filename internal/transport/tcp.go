@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"powerlog/internal/metrics"
 )
 
 // ErrPeerUnavailable is returned by TCPConn.Send while a peer's circuit
@@ -57,6 +59,7 @@ type TCPConn struct {
 	inbox    chan Message
 
 	retry RetryPolicy
+	met   *tcpMetrics // nil until SetMetrics; hot-path reads are nil-checked
 
 	mu       sync.Mutex
 	addrs    []string // len workers+1; index = endpoint id
@@ -186,6 +189,39 @@ func (t *TCPConn) readLoop(c net.Conn) {
 // SetRetry replaces the endpoint's retry policy. Call before any Send.
 func (t *TCPConn) SetRetry(p RetryPolicy) { t.retry = p }
 
+// tcpMetrics is the endpoint's pre-resolved metric handles (DESIGN.md
+// §8): retry pressure, circuit-breaker transitions, and per-peer
+// traffic. All writes are single atomic ops on registered counters.
+type tcpMetrics struct {
+	retries      *metrics.Counter // tcp.send.retry: extra attempts beyond the first
+	breakerOpen  *metrics.Counter // tcp.breaker.open: closed→open transitions
+	breakerHalf  *metrics.Counter // tcp.breaker.halfopen: post-cooldown probes
+	breakerClose *metrics.Counter // tcp.breaker.close: open→closed (probe succeeded)
+	peerBatches  []*metrics.Counter
+	peerBytes    []*metrics.Counter
+}
+
+// SetMetrics registers the endpoint's transport counters into reg. Like
+// SetRetry, call it before any Send (the hot path reads t.met without a
+// lock). nil disables instrumentation again.
+func (t *TCPConn) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		t.met = nil
+		return
+	}
+	tm := &tcpMetrics{
+		retries:      reg.Counter("tcp.send.retry"),
+		breakerOpen:  reg.Counter("tcp.breaker.open"),
+		breakerHalf:  reg.Counter("tcp.breaker.halfopen"),
+		breakerClose: reg.Counter("tcp.breaker.close"),
+	}
+	for j := 0; j <= t.workers; j++ {
+		tm.peerBatches = append(tm.peerBatches, reg.Counter(fmt.Sprintf("tcp.peer%d.batch", j)))
+		tm.peerBytes = append(tm.peerBytes, reg.Counter(fmt.Sprintf("tcp.peer%d.bytes", j)))
+	}
+	t.met = tm
+}
+
 // Send implements Conn. A failed dial or write is retried with
 // exponential backoff up to the retry policy's attempt budget; past
 // BreakAfter consecutive link failures the per-peer circuit breaker
@@ -214,6 +250,9 @@ func (t *TCPConn) Send(to int, m Message) error {
 			errors.Is(err, ErrPeerUnavailable) || errors.Is(err, net.ErrClosed) {
 			return err
 		}
+		if t.met != nil {
+			t.met.retries.Inc()
+		}
 		time.Sleep(backoff)
 		backoff *= 2
 	}
@@ -230,8 +269,15 @@ func (t *TCPConn) attempt(to int, oc *outConn, m *Message) error {
 		return net.ErrClosed
 	}
 	now := time.Now()
-	if oc.fails >= t.retry.BreakAfter && now.Before(oc.openUntil) {
-		return fmt.Errorf("transport: endpoint %d at %s: %w", to, oc.addr, ErrPeerUnavailable)
+	if oc.fails >= t.retry.BreakAfter {
+		if now.Before(oc.openUntil) {
+			return fmt.Errorf("transport: endpoint %d at %s: %w", to, oc.addr, ErrPeerUnavailable)
+		}
+		// Cooldown elapsed with the breaker still open: this attempt is
+		// the half-open probe.
+		if t.met != nil {
+			t.met.breakerHalf.Inc()
+		}
 	}
 	if oc.c == nil {
 		c, err := net.DialTimeout("tcp", oc.addr, t.retry.DialTimeout)
@@ -253,6 +299,16 @@ func (t *TCPConn) attempt(to int, oc *outConn, m *Message) error {
 		t.linkFailed(oc, now)
 		return fmt.Errorf("transport: write endpoint %d: %w", to, err)
 	}
+	if t.met != nil {
+		if oc.fails >= t.retry.BreakAfter {
+			// A successful write through an open breaker closes it.
+			t.met.breakerClose.Inc()
+		}
+		if to >= 0 && to < len(t.met.peerBatches) {
+			t.met.peerBatches[to].Inc()
+			t.met.peerBytes[to].Add(uint64(len(buf[start:])))
+		}
+	}
 	oc.fails = 0
 	return nil
 }
@@ -263,6 +319,11 @@ func (t *TCPConn) attempt(to int, oc *outConn, m *Message) error {
 func (t *TCPConn) linkFailed(oc *outConn, now time.Time) {
 	oc.fails++
 	if oc.fails >= t.retry.BreakAfter {
+		// Count only the closed→open transition, not re-arms from failed
+		// half-open probes.
+		if t.met != nil && oc.fails == t.retry.BreakAfter {
+			t.met.breakerOpen.Inc()
+		}
 		oc.openUntil = now.Add(t.retry.Cooldown)
 	}
 }
