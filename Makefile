@@ -3,7 +3,10 @@
 # pass covers the packages on the zero-allocation message path (combiner
 # → pooled batches → codec → MonoTable fold) plus checkpointing, fault
 # injection, and the lock-free metrics core, where a recycle-contract
-# violation would surface as a data race; it runs -short, which trims
+# violation would surface as a data race; -cpu 1,4 runs each test at
+# both parallelism levels so the intra-worker subshard scan pool
+# (DESIGN.md §9) is raced with real preemption even on small CI boxes;
+# it runs -short, which trims
 # the chaos matrix (internal/runtime/chaos_test.go) to its
 # representative algorithm subset — the full matrix runs race-free under
 # `make test`. `make lint` runs the repo-local static analyzers of
@@ -29,7 +32,7 @@ test:
 	go test ./...
 
 race:
-	go test -race -short ./internal/runtime/... ./internal/transport/... ./internal/monotable/... ./internal/ckpt/... ./internal/fault/... ./internal/metrics/...
+	go test -race -short -cpu 1,4 ./internal/runtime/... ./internal/transport/... ./internal/monotable/... ./internal/ckpt/... ./internal/fault/... ./internal/metrics/...
 
 metrics-smoke:
 	go run ./cmd/plbench -exp policymetrics -smoke -maxwall 60s

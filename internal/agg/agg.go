@@ -160,6 +160,17 @@ func (o *Op) AtomicExchangeIdentity(addr *uint64) float64 {
 	return math.Float64frombits(old)
 }
 
+// Abs returns |x|. It is the shared absolute-value helper for the hot
+// paths (magnitude and threshold tests); a plain branch, so it inlines
+// and avoids math.Abs's bit dance in the few places that fold millions
+// of deltas per second.
+func Abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 // Load atomically reads the float64 stored at addr.
 func Load(addr *uint64) float64 {
 	return math.Float64frombits(atomic.LoadUint64(addr))

@@ -164,6 +164,11 @@ type RunConfig struct {
 	// Staleness is the MRASSP superstep bound (0 = runtime default).
 	Staleness int
 
+	// Cores is the per-worker scan parallelism (runtime
+	// Config.CoresPerWorker): 0 = runtime default (min(GOMAXPROCS, 8)),
+	// 1 = the exact serial pass. The cores experiment sweeps it.
+	Cores int
+
 	// Faults is a fault-injection spec (fault.ParseSpec syntax, e.g.
 	// "seed=42,sendfail=0.1,stall=5:300us") applied to every engine run;
 	// empty disables injection. The recovery experiment sets it per run.
@@ -235,6 +240,7 @@ func RunMode(w *Workload, mode runtime.Mode, cfg RunConfig) (Measurement, error)
 		PriorityThreshold: cfg.PriorityThreshold,
 		OrderedScan:       cfg.OrderedScan,
 		Staleness:         cfg.Staleness,
+		CoresPerWorker:    cfg.Cores,
 		SnapshotDir:       cfg.SnapshotDir,
 		SnapshotEvery:     cfg.SnapshotEvery,
 		RestoreDir:        cfg.RestoreDir,

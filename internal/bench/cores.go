@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"powerlog/internal/gen"
+	plrt "powerlog/internal/runtime"
+)
+
+// coresSweep is the per-worker core counts the scaling experiment runs.
+var coresSweep = []int{1, 2, 4, 8}
+
+// Cores is the intra-worker scaling experiment (`plbench -exp cores`):
+// SSSP and PageRank on LiveJ, two async modes, sweeping the per-worker
+// scan parallelism (runtime Config.CoresPerWorker, DESIGN.md §9). Each
+// row reports wall time and the speedup over the cores=1 run of the
+// same (algo, mode) pair; the header records GOMAXPROCS and NumCPU
+// because scaling beyond GOMAXPROCS is concurrency, not parallelism —
+// numbers from a 1-CPU box show overhead, not speedup.
+func Cores(w io.Writer, cfg RunConfig) ([]Measurement, error) {
+	cfg = cfg.orDefaults()
+	fmt.Fprintf(w, "Cores: intra-worker subshard-scan scaling (workers=%d GOMAXPROCS=%d NumCPU=%d)\n",
+		cfg.Workers, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	var d gen.Dataset
+	if cfg.Smoke {
+		d = gen.TinyDatasets()[0]
+	} else {
+		var err error
+		d, err = gen.DatasetByName("LiveJ")
+		if err != nil {
+			return nil, err
+		}
+	}
+	modes := []plrt.Mode{plrt.MRAAsync, plrt.MRASyncAsync}
+	var out []Measurement
+	for _, algo := range []string{"SSSP", "PageRank"} {
+		wl, err := Prepare(algo, d)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range modes {
+			base := time.Duration(0)
+			for _, cores := range coresSweep {
+				c := cfg
+				c.Cores = cores
+				m, err := RunMode(wl, mode, c)
+				if err != nil {
+					return nil, err
+				}
+				m.Series = fmt.Sprintf("%s/cores=%d", mode, cores)
+				out = append(out, m)
+				el := time.Duration(m.Seconds * float64(time.Second))
+				if cores == 1 {
+					base = el
+				}
+				speed := 0.0
+				if el > 0 {
+					speed = base.Seconds() / el.Seconds()
+				}
+				fmt.Fprintf(w, "  %-9s %-6s %-14s cores=%d %8.3fs  (%.2fx vs cores=1)  steals=%d parallel_passes=%d\n",
+					algo, d.Name, mode, cores, m.Seconds, speed,
+					m.Metrics.Counter("scan.steal"), m.Metrics.Counter("scan.parallel.pass"))
+			}
+		}
+	}
+	return out, nil
+}

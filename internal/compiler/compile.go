@@ -269,9 +269,9 @@ func compilePropagation(p *Plan, shape *bodyShape) error {
 	}
 
 	g := p.Graph
-	build := func(f func([]float64) float64) func(int64, float64, func(int64, float64)) {
+	build := func(f func([]float64) float64) func([]float64, int64, float64, func(int64, float64)) {
 		pair := p.PairKeys
-		return func(key int64, value float64, emit func(int64, float64)) {
+		return func(vals []float64, key int64, value float64, emit func(int64, float64)) {
 			src := key
 			var hi int64
 			if pair {
@@ -280,7 +280,6 @@ func compilePropagation(p *Plan, shape *bodyShape) error {
 			if src < 0 || src >= int64(g.NumVertices()) {
 				return
 			}
-			vals := make([]float64, nslots)
 			vals[0] = value
 			for _, c := range srcCols {
 				vals[c.slot] = c.col[src]
@@ -302,8 +301,17 @@ func compilePropagation(p *Plan, shape *bodyShape) error {
 			}
 		}
 	}
-	p.Propagate = build(fDelta)
-	p.PropagateFull = build(fFull)
+	p.NewScratch = func() []float64 { return make([]float64, nslots) }
+	p.PropagateInto = build(fDelta)
+	p.PropagateFullInto = build(fFull)
+	// The convenience forms allocate scratch per call; the engine's scan
+	// passes hold per-goroutine scratch and use the Into forms.
+	p.Propagate = func(key int64, delta float64, emit func(int64, float64)) {
+		p.PropagateInto(make([]float64, nslots), key, delta, emit)
+	}
+	p.PropagateFull = func(key int64, value float64, emit func(int64, float64)) {
+		p.PropagateFullInto(make([]float64, nslots), key, value, emit)
+	}
 	return nil
 }
 

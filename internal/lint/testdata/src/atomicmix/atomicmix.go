@@ -70,3 +70,52 @@ func (m *metricsClean) record(n uint64) {
 func (m *metricsClean) report() (uint64, float64) {
 	return m.events.Load(), m.level.Load()
 }
+
+// subshard mirrors the intra-worker scan pool's shapes (runtime
+// subshard.go): the table's acc/inter/dirty words are shared between
+// scan cores and must go through the atomic wrappers, while each core's
+// private pass counters are owner-merged after the join and are
+// legitimately plain.
+type subshard struct {
+	acc   []uint64 // shared rows: atomic wrappers only
+	dirty []uint32 // shared bitmap words: atomic only
+}
+
+func (s *subshard) foldRange(op *agg.Op, lo, hi int, v float64) {
+	for i := lo; i < hi; i++ {
+		op.AtomicFold(&s.acc[i], v)
+	}
+}
+
+func (s *subshard) clearWord(i int) {
+	atomic.StoreUint32(&s.dirty[i], 0)
+}
+
+func (s *subshard) peekWord(i int) uint32 {
+	return s.dirty[i] // want "plain access to element of dirty"
+}
+
+func (s *subshard) peekRow(i int) uint64 {
+	return s.acc[i] // want "plain access to element of acc"
+}
+
+// scanCore must stay silent: folds and steals are per-core private
+// state, read by the owner only after the pool's WaitGroup join — the
+// pattern coreState uses. Only the shared table words need atomics.
+type scanCore struct {
+	folds  int64
+	steals uint64
+}
+
+func (c *scanCore) scanOne(s *subshard, op *agg.Op, i int, v float64) {
+	op.AtomicFold(&s.acc[i], v)
+	c.folds++
+}
+
+func merge(cores []*scanCore) (total int64) {
+	for _, c := range cores {
+		total += c.folds
+		c.folds = 0
+	}
+	return total
+}

@@ -57,6 +57,28 @@ type Table interface {
 	// made dirty again during the scan are observed by a later scan.
 	ScanDirty(f func(key int64))
 
+	// Subshards reports how many disjoint scan ranges the shard supports
+	// for a caller that wants up to `want` of them (intra-worker
+	// parallelism). The result is in [1, want]; ranges are cache-line
+	// granular for Dense and stripe granular for Sparse, so a small shard
+	// may support fewer ranges than asked for.
+	Subshards(want int) int
+
+	// ScanDirtyRange drains the dirty keys of subshard sub of nsub,
+	// invoking f for each. The nsub subshards partition the shard: over a
+	// fixed nsub every dirty key belongs to exactly one subshard, and
+	// ScanDirtyRange(0, 1) is ScanDirty. Scans of DISTINCT subshards may
+	// run concurrently (the dirty tracking is per-subshard words for
+	// Dense, per-stripe sets for Sparse — no shared cache lines); the
+	// same subshard must not be scanned by two goroutines at once.
+	ScanDirtyRange(sub, nsub int, f func(key int64))
+
+	// DirtyApprox estimates the size of the dirty set without draining
+	// it — a scheduling hint (is a parallel pass worth its fan-out?), not
+	// a linearizable count: concurrent folds may be missed or double
+	// counted.
+	DirtyApprox() int
+
 	// HasDirty reports whether any row is marked dirty.
 	HasDirty() bool
 
@@ -147,9 +169,21 @@ func (d *Dense) FoldAcc(key int64, v float64) (bool, float64, float64) {
 	return foldAccCell(d.op, &d.acc[d.slot(key)], v)
 }
 
-// ScanDirty implements Table.
-func (d *Dense) ScanDirty(f func(key int64)) {
-	for w := range d.dirty {
+// dirtyWordsPerLine groups the dirty bitmap into 64-byte cache lines
+// (16 × uint32 = 512 slots). Subshard boundaries fall only on line
+// boundaries, so two goroutines scanning different subshards never CAS
+// or swap words on the same cache line — the mark-dirty bitmap stays
+// per-subshard and ping-pong free.
+const dirtyWordsPerLine = 16
+
+// dirtyLines is the number of cache-line groups in the bitmap.
+func (d *Dense) dirtyLines() int {
+	return (len(d.dirty) + dirtyWordsPerLine - 1) / dirtyWordsPerLine
+}
+
+// scanWords drains the dirty words in [lo, hi), invoking f per set bit.
+func (d *Dense) scanWords(lo, hi int, f func(key int64)) {
+	for w := lo; w < hi; w++ {
 		bits := swapWord(&d.dirty[w], 0)
 		for bits != 0 {
 			b := bits & (-bits)
@@ -161,6 +195,47 @@ func (d *Dense) ScanDirty(f func(key int64)) {
 			}
 		}
 	}
+}
+
+// ScanDirty implements Table.
+func (d *Dense) ScanDirty(f func(key int64)) { d.scanWords(0, len(d.dirty), f) }
+
+// Subshards implements Table: at most one subshard per bitmap cache
+// line, so disjoint ranges never share a dirty word's line.
+func (d *Dense) Subshards(want int) int {
+	lines := d.dirtyLines()
+	if lines < 1 {
+		lines = 1
+	}
+	if want < 1 {
+		want = 1
+	}
+	if want > lines {
+		return lines
+	}
+	return want
+}
+
+// ScanDirtyRange implements Table: subshard sub of nsub covers the
+// cache-line block [sub·L/nsub, (sub+1)·L/nsub) of the dirty bitmap —
+// contiguous slot ranges, scanned in ascending slot order.
+func (d *Dense) ScanDirtyRange(sub, nsub int, f func(key int64)) {
+	lines := d.dirtyLines()
+	lo := sub * lines / nsub * dirtyWordsPerLine
+	hi := (sub + 1) * lines / nsub * dirtyWordsPerLine
+	if hi > len(d.dirty) {
+		hi = len(d.dirty)
+	}
+	d.scanWords(lo, hi, f)
+}
+
+// DirtyApprox implements Table: a popcount sweep of the bitmap.
+func (d *Dense) DirtyApprox() int {
+	n := 0
+	for w := range d.dirty {
+		n += onesCount32(loadWord(&d.dirty[w]))
+	}
+	return n
 }
 
 // HasDirty implements Table.
@@ -219,14 +294,31 @@ func (d *Dense) Len() int {
 	return n
 }
 
-// Sparse is a map-backed shard for pair-keyed programs. It serialises
-// access with a mutex; the per-row entries still use the atomic protocol
-// so Drain and FoldDelta interleave correctly with readers.
+// sparseStripes is the fixed stripe count of the sparse layout: a power
+// of two so stripe selection is a mask, and comfortably above the
+// per-worker core cap (8) so any Subshards(want) request partitions
+// stripes evenly enough to balance.
+const sparseStripes = 32
+
+// Sparse is a map-backed shard for pair-keyed programs, hash-striped so
+// range scans and folds on different stripes never contend. Each stripe
+// serialises its maps with a mutex; the per-row entries still use the
+// atomic protocol so Drain and FoldDelta interleave correctly with
+// readers once a row pointer is in hand.
 type Sparse struct {
-	op    *agg.Op
-	mu    sync.Mutex
-	rows  map[int64]*sparseRow
-	dirty map[int64]struct{}
+	op      *agg.Op
+	stripes [sparseStripes]sparseStripe
+}
+
+type sparseStripe struct {
+	mu      sync.Mutex
+	rows    map[int64]*sparseRow
+	dirty   map[int64]struct{}
+	scratch []int64 // reused ScanDirty drain target (one scanner per stripe)
+
+	// Pad stripes apart so one stripe's mutex traffic does not
+	// false-share with its neighbour's.
+	_ [64]byte
 }
 
 type sparseRow struct {
@@ -235,40 +327,55 @@ type sparseRow struct {
 
 // NewSparse creates an empty sparse shard.
 func NewSparse(op *agg.Op) *Sparse {
-	return &Sparse{op: op, rows: map[int64]*sparseRow{}, dirty: map[int64]struct{}{}}
+	s := &Sparse{op: op}
+	for i := range s.stripes {
+		s.stripes[i].rows = map[int64]*sparseRow{}
+		s.stripes[i].dirty = map[int64]struct{}{}
+	}
+	return s
+}
+
+// stripeOf hashes a key to its stripe (Fibonacci mix, like the runtime's
+// combiner hash, so src<<32|dst pair keys spread).
+func (s *Sparse) stripeOf(key int64) *sparseStripe {
+	x := uint64(key) * 0x9E3779B97F4A7C15
+	return &s.stripes[(x^(x>>32))&(sparseStripes-1)]
 }
 
 // Op implements Table.
 func (s *Sparse) Op() *agg.Op { return s.op }
 
-func (s *Sparse) row(key int64) *sparseRow {
-	r, ok := s.rows[key]
+// row returns (creating if needed) the row for key. Caller holds st.mu.
+func (st *sparseStripe) row(key int64, op *agg.Op) *sparseRow {
+	r, ok := st.rows[key]
 	if !ok {
 		r = &sparseRow{}
-		agg.Store(&r.acc, s.op.Identity())
-		agg.Store(&r.inter, s.op.Identity())
-		s.rows[key] = r
+		agg.Store(&r.acc, op.Identity())
+		agg.Store(&r.inter, op.Identity())
+		st.rows[key] = r
 	}
 	return r
 }
 
 // FoldDelta implements Table.
 func (s *Sparse) FoldDelta(key int64, v float64) bool {
-	s.mu.Lock()
-	r := s.row(key)
+	st := s.stripeOf(key)
+	st.mu.Lock()
+	r := st.row(key, s.op)
 	changed := s.op.AtomicFold(&r.inter, v)
 	if changed {
-		s.dirty[key] = struct{}{}
+		st.dirty[key] = struct{}{}
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 	return changed
 }
 
 // Drain implements Table.
 func (s *Sparse) Drain(key int64) (float64, bool) {
-	s.mu.Lock()
-	r := s.row(key)
-	s.mu.Unlock()
+	st := s.stripeOf(key)
+	st.mu.Lock()
+	r := st.row(key, s.op)
+	st.mu.Unlock()
 	v := s.op.AtomicExchangeIdentity(&r.inter)
 	if v == s.op.Identity() {
 		return v, false
@@ -278,9 +385,10 @@ func (s *Sparse) Drain(key int64) (float64, bool) {
 
 // Acc implements Table.
 func (s *Sparse) Acc(key int64) float64 {
-	s.mu.Lock()
-	r, ok := s.rows[key]
-	s.mu.Unlock()
+	st := s.stripeOf(key)
+	st.mu.Lock()
+	r, ok := st.rows[key]
+	st.mu.Unlock()
 	if !ok {
 		return s.op.Identity()
 	}
@@ -289,85 +397,142 @@ func (s *Sparse) Acc(key int64) float64 {
 
 // FoldAcc implements Table.
 func (s *Sparse) FoldAcc(key int64, v float64) (bool, float64, float64) {
-	s.mu.Lock()
-	r := s.row(key)
-	s.mu.Unlock()
+	st := s.stripeOf(key)
+	st.mu.Lock()
+	r := st.row(key, s.op)
+	st.mu.Unlock()
 	return foldAccCell(s.op, &r.acc, v)
 }
 
-// ScanDirty implements Table.
-func (s *Sparse) ScanDirty(f func(key int64)) {
-	s.mu.Lock()
-	keys := make([]int64, 0, len(s.dirty))
-	for k := range s.dirty {
+// scanDirtyStripe drains one stripe's dirty set into its reused scratch
+// (deleting in place keeps the map's buckets, so a steady-state scan
+// allocates nothing), then invokes f outside the lock.
+func (s *Sparse) scanDirtyStripe(st *sparseStripe, f func(key int64)) {
+	st.mu.Lock()
+	keys := st.scratch[:0]
+	for k := range st.dirty {
 		keys = append(keys, k)
+		delete(st.dirty, k)
 	}
-	s.dirty = map[int64]struct{}{}
-	s.mu.Unlock()
+	st.scratch = keys
+	st.mu.Unlock()
 	for _, k := range keys {
 		f(k)
 	}
 }
 
+// ScanDirty implements Table.
+func (s *Sparse) ScanDirty(f func(key int64)) {
+	for i := range s.stripes {
+		s.scanDirtyStripe(&s.stripes[i], f)
+	}
+}
+
+// Subshards implements Table: at most one subshard per stripe.
+func (s *Sparse) Subshards(want int) int {
+	if want < 1 {
+		return 1
+	}
+	if want > sparseStripes {
+		return sparseStripes
+	}
+	return want
+}
+
+// ScanDirtyRange implements Table: subshard sub of nsub covers the
+// stripe block [sub·S/nsub, (sub+1)·S/nsub).
+func (s *Sparse) ScanDirtyRange(sub, nsub int, f func(key int64)) {
+	lo := sub * sparseStripes / nsub
+	hi := (sub + 1) * sparseStripes / nsub
+	for i := lo; i < hi; i++ {
+		s.scanDirtyStripe(&s.stripes[i], f)
+	}
+}
+
+// DirtyApprox implements Table.
+func (s *Sparse) DirtyApprox() int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += len(st.dirty)
+		st.mu.Unlock()
+	}
+	return n
+}
+
 // HasDirty implements Table.
 func (s *Sparse) HasDirty() bool {
-	s.mu.Lock()
-	n := len(s.dirty)
-	s.mu.Unlock()
-	return n != 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n := len(st.dirty)
+		st.mu.Unlock()
+		if n != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Range implements Table.
 func (s *Sparse) Range(f func(key int64, acc float64) bool) {
-	s.mu.Lock()
 	type kv struct {
 		k int64
 		v float64
 	}
 	id := s.op.Identity()
-	all := make([]kv, 0, len(s.rows))
-	for k, r := range s.rows {
-		if v := agg.Load(&r.acc); v != id {
-			all = append(all, kv{k, v})
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		all := make([]kv, 0, len(st.rows))
+		for k, r := range st.rows {
+			if v := agg.Load(&r.acc); v != id {
+				all = append(all, kv{k, v})
+			}
 		}
-	}
-	s.mu.Unlock()
-	for _, e := range all {
-		if !f(e.k, e.v) {
-			return
+		st.mu.Unlock()
+		for _, e := range all {
+			if !f(e.k, e.v) {
+				return
+			}
 		}
 	}
 }
 
 // RangeRows implements Table.
 func (s *Sparse) RangeRows(f func(key int64, acc, inter float64) bool) {
-	s.mu.Lock()
 	type kv struct {
 		k        int64
 		acc, del float64
 	}
 	id := s.op.Identity()
-	all := make([]kv, 0, len(s.rows))
-	for k, r := range s.rows {
-		a, d := agg.Load(&r.acc), agg.Load(&r.inter)
-		if a == id && d == id {
-			continue
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		all := make([]kv, 0, len(st.rows))
+		for k, r := range st.rows {
+			a, d := agg.Load(&r.acc), agg.Load(&r.inter)
+			if a == id && d == id {
+				continue
+			}
+			all = append(all, kv{k, a, d})
 		}
-		all = append(all, kv{k, a, d})
-	}
-	s.mu.Unlock()
-	for _, e := range all {
-		if !f(e.k, e.acc, e.del) {
-			return
+		st.mu.Unlock()
+		for _, e := range all {
+			if !f(e.k, e.acc, e.del) {
+				return
+			}
 		}
 	}
 }
 
 // SetAcc implements Table.
 func (s *Sparse) SetAcc(key int64, v float64) {
-	s.mu.Lock()
-	r := s.row(key)
-	s.mu.Unlock()
+	st := s.stripeOf(key)
+	st.mu.Lock()
+	r := st.row(key, s.op)
+	st.mu.Unlock()
 	agg.Store(&r.acc, v)
 }
 
@@ -409,16 +574,9 @@ func magnitude(op *agg.Op, old, next, v float64) float64 {
 			d = -d
 		}
 		if d != d || d > 1e300 { // NaN or from-identity jump: count the value move
-			return abs(v)
+			return agg.Abs(v)
 		}
 		return d
 	}
-	return abs(v)
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
+	return agg.Abs(v)
 }

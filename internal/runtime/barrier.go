@@ -49,6 +49,12 @@ func (b *bspBarrier) endPass(w *worker, _ bool) bool {
 		w.next = w.newTable()
 		w.apply = w.next
 	} else {
+		if w.accFolds >= accResyncFolds {
+			// A barrier is an epoch boundary: replace the drifting
+			// running Σacc with the exact table sum (worker.resyncAccSum)
+			// before it feeds another million folds.
+			w.resyncAccSum()
+		}
 		stats.AccDelta = w.accDelta
 		w.accDelta = 0
 		stats.Dirty = w.table.HasDirty()

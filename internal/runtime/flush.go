@@ -3,6 +3,7 @@ package runtime
 import (
 	"time"
 
+	"powerlog/internal/agg"
 	"powerlog/internal/metrics"
 )
 
@@ -15,7 +16,7 @@ import (
 // policies: deltas well above the priority threshold are sent to their
 // neighbours immediately instead of waiting for the buffer to fill.
 func urgentDelta(threshold, v float64) bool {
-	return threshold > 0 && abs(v) >= 8*threshold
+	return threshold > 0 && agg.Abs(v) >= 8*threshold
 }
 
 // asyncEagerBatch is the small fixed batch of the pure-async mode.

@@ -1,5 +1,7 @@
 package runtime
 
+import "powerlog/internal/agg"
+
 // Naive (SociaLite-style) evaluation: each superstep re-derives the full
 // next state from the previous one. Only the compute body lives here —
 // the barrier protocol is the same bspBarrier as MRA+Sync.
@@ -37,7 +39,7 @@ func (w *worker) naivePass() int {
 		}
 	}
 	w.table.Range(func(k int64, acc float64) bool {
-		w.plan.PropagateFull(k, acc, w.emit)
+		w.plan.PropagateFullInto(w.scratch, k, acc, w.emit)
 		return true
 	})
 	return 0
@@ -69,17 +71,17 @@ func (w *worker) naiveFinish() (float64, bool) {
 		w.seen.add(k)
 		old := w.table.Acc(k)
 		if old == w.plan.Op.Identity() {
-			diff += abs(v)
+			diff += agg.Abs(v)
 			changed = true
 		} else if v != old {
-			diff += abs(v - old)
+			diff += agg.Abs(v - old)
 			changed = true
 		}
 		return true
 	})
 	w.table.Range(func(k int64, v float64) bool {
 		if !w.seen.has(k) {
-			diff += abs(v) // key disappeared (cannot happen for monotone runs)
+			diff += agg.Abs(v) // key disappeared (cannot happen for monotone runs)
 			changed = true
 		}
 		return true

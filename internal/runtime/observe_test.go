@@ -101,8 +101,11 @@ func TestPeriodicMetricsDump(t *testing.T) {
 		Tau:           200 * time.Microsecond,
 		CheckInterval: 300 * time.Microsecond,
 		MaxWall:       30 * time.Second,
-		MetricsEvery:  200 * time.Microsecond,
-		MetricsLog:    &buf,
+		// 1ms still yields hundreds of snapshots per run; much tighter and
+		// the race-instrumented render loop starves a 1-CPU box's engine
+		// (text rendering per tick grows with every registered metric).
+		MetricsEvery: time.Millisecond,
+		MetricsLog:   &buf,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -56,7 +56,7 @@ func (r *oldFlushRef) emit(dst, bufLen int, v float64) bool {
 		return false
 	}
 	r.winCount[dst]++
-	if t := r.cfg.PriorityThreshold; t > 0 && abs(v) >= 8*t {
+	if t := r.cfg.PriorityThreshold; t > 0 && agg.Abs(v) >= 8*t {
 		return true
 	}
 	switch {

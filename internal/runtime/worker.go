@@ -66,12 +66,21 @@ type worker struct {
 	flushes    int64
 	accDelta   float64 // Σ|acc change| since last stats reply
 	accSum     float64 // running Σacc over the shard (identity rows count 0)
+	accFolds   int64   // FoldAcc count since the last exact Σacc resync
 	passes     int64   // async compute-loop iterations
 	rounds     int
+
+	// scan is the per-core subshard pool for intra-worker parallel
+	// passes (subshard.go); nil when CoresPerWorker is 1 or the mode is
+	// naive, in which case every pass takes the serial path.
+	scan *scanPool
 
 	// Reused drain-pass storage: a steady-state pass allocates nothing.
 	drainKeys []int64
 	drainBuf  []drained
+	// scratch is this goroutine's propagation-expression buffer
+	// (plan.PropagateInto); scan cores hold their own (coreState).
+	scratch []float64
 
 	// control-state set by handle(). peerSteps is the EndPhase vector
 	// clock: peerSteps[j] is the highest completed-superstep count worker
@@ -167,10 +176,14 @@ func newWorker(id int, cfg Config, plan *compiler.Plan, conn transport.Conn) *wo
 	}
 	w.table = w.newTable()
 	w.apply = w.table
+	w.scratch = plan.NewScratch()
 	now := time.Now()
 	for j := range w.bufs {
 		w.bufs[j] = newOutBuf(plan.Op)
 		w.lastFlush[j] = now
+	}
+	if cfg.CoresPerWorker > 1 && cfg.Mode.MRA() {
+		w.scan = newScanPool(w, cfg.CoresPerWorker, cfg.CoresMinKeys)
 	}
 	go w.commLoop()
 	return w
@@ -444,12 +457,45 @@ func (w *worker) handle(m transport.Message) {
 	}
 }
 
+// accResyncFolds is how many FoldAcc signed deltas the running accSum
+// absorbs before the next epoch boundary recomputes it exactly. Each
+// `accSum += signed` rounds once, and across millions of mixed-sign
+// folds the rounding error drifts in one direction (a small delta added
+// next to a large accumulated value loses its low bits every time); the
+// periodic exact resync bounds the drift the master's ε check can see.
+const accResyncFolds = 1 << 20
+
+// resyncAccSum recomputes Σacc exactly from the table (Neumaier
+// compensated summation, so the recomputation itself doesn't reintroduce
+// rounding skew) and replaces the running sum with it.
+func (w *worker) resyncAccSum() {
+	var sum, comp float64
+	w.table.Range(func(_ int64, acc float64) bool {
+		t := sum + acc
+		if agg.Abs(sum) >= agg.Abs(acc) {
+			comp += (sum - t) + acc
+		} else {
+			comp += (acc - t) + sum
+		}
+		sum = t
+		return true
+	})
+	w.accSum = sum + comp
+	w.accFolds = 0
+}
+
 func (w *worker) replyStats(round int) {
+	if w.accFolds >= accResyncFolds {
+		// A stats poll is the async family's epoch boundary: fold the
+		// exact Σacc back in before the master reads it.
+		w.resyncAccSum()
+	}
 	idle := !w.table.HasDirty() && !w.pol.sched.holding() && w.buffersEmpty()
 	// The paper's termination thread evaluates the aggregation of the
 	// Accumulation column; the master diffs consecutive global values.
 	// accSum is maintained incrementally from FoldAcc's signed deltas,
-	// so answering a poll is O(1) instead of an O(n) shard scan.
+	// so answering a poll is O(1) instead of an O(n) shard scan (the
+	// amortised resync above keeps that honest against FP drift).
 	st := transport.Stats{
 		Sent:     w.sent,
 		Recv:     w.recv,
@@ -584,10 +630,16 @@ func (w *worker) drainInbox() bool {
 // policies plugged in.
 func (w *worker) run() {
 	defer func() {
+		w.scan.close() // nil-safe: park-for-good the subshard cores
 		close(w.out)
 		close(w.outCtrl)
 		<-w.commDone
 	}()
+	if w.scan != nil {
+		// The seeded dirty count stands in for "last pass's drain" on the
+		// first pass, so a big seed fans out immediately.
+		w.scan.lastDrained = w.table.DirtyApprox()
+	}
 	w.pol.barrier.setup(w)
 	for !w.stopped && !w.sendDead.Load() {
 		progressed := w.pol.barrier.beginPass(w)
@@ -606,11 +658,25 @@ func (w *worker) run() {
 // scanPass is the shared MRA compute body (paper Figure 7): drain a
 // snapshot of dirty keys in the Scheduler's order, fold each delta into
 // its accumulation, and propagate improvements. It returns how many
-// rows produced work.
+// rows produced work. When the worker has a subshard pool and the
+// frontier is large enough to pay for fan-out, the pass runs on P cores
+// (subshard.go); otherwise it takes the serial body below, which is the
+// exact pre-subshard single-threaded path.
 func (w *worker) scanPass() int {
+	if w.scan != nil && w.scan.worthParallel() {
+		return w.scanPassParallel()
+	}
+	return w.scanPassSerial()
+}
+
+func (w *worker) scanPassSerial() int {
 	n := 0
 	refresh := w.pol.sched.refreshes()
-	for _, d := range w.drainSnapshot() {
+	drained := w.drainSnapshot()
+	if w.scan != nil {
+		w.scan.lastDrained = len(drained)
+	}
+	for _, d := range drained {
 		if refresh {
 			w.refresh(&d)
 		}
@@ -622,13 +688,14 @@ func (w *worker) scanPass() int {
 			continue
 		}
 		improved, change, signed := w.table.FoldAcc(d.key, d.val)
+		w.accFolds++
 		w.accDelta += change
 		w.accSum += signed
 		if !w.shouldPropagate(improved, d.val) {
 			continue
 		}
 		n++
-		w.plan.Propagate(d.key, d.val, w.emit)
+		w.plan.PropagateInto(w.scratch, d.key, d.val, w.emit)
 	}
 	return n
 }
@@ -727,13 +794,6 @@ func (w *worker) idleWait() {
 	}
 }
 
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
 // outBuf is a per-destination buffer that folds same-key updates with
 // the program's aggregate, in arrival order of first touch. It is an
 // open-addressed flat combiner: a power-of-two slot table of indexes
@@ -823,4 +883,17 @@ func (b *outBuf) take() []transport.KV {
 	b.vals = b.vals[:0]
 	clear(b.slots)
 	return kvs
+}
+
+// drainInto hands every buffered (key, value) pair to f in first-touch
+// order and resets the buffer in place. Unlike take it allocates no
+// pooled batch — the per-core merge path (subshard.go) re-emits each
+// pair through the worker-level buffers instead of sending directly.
+func (b *outBuf) drainInto(f func(key int64, v float64)) {
+	for i, k := range b.keys {
+		f(k, b.vals[i])
+	}
+	b.keys = b.keys[:0]
+	b.vals = b.vals[:0]
+	clear(b.slots)
 }
