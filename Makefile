@@ -14,10 +14,13 @@
 # same checks also run under `go test ./internal/lint`, so plain
 # `go test ./...` enforces them too. `make metrics-smoke` exercises the
 # observability layer end-to-end: the policymetrics experiment on the
-# tiny dataset, all six modes.
-.PHONY: check build vet lint test race bench metrics-smoke
+# tiny dataset, all six modes. `make churn-smoke` exercises the session
+# lifecycle end-to-end: incremental Apply vs cold re-run on the tiny
+# dataset across the four session-capable modes (the race pass already
+# covers the session tests via ./internal/runtime/... -short).
+.PHONY: check build vet lint test race bench metrics-smoke churn-smoke
 
-check: vet lint build test race metrics-smoke
+check: vet lint build test race metrics-smoke churn-smoke
 
 build:
 	go build ./...
@@ -36,6 +39,9 @@ race:
 
 metrics-smoke:
 	go run ./cmd/plbench -exp policymetrics -smoke -maxwall 60s
+
+churn-smoke:
+	go run ./cmd/plbench -exp churn -smoke -maxwall 60s
 
 # Hot-path microbenches with allocation counts (BENCH_PR1.json records
 # the tracked numbers).

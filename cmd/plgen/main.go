@@ -5,6 +5,13 @@
 //
 //	plgen -dataset LiveJ -weighted -out livej.tsv
 //	plgen -kind rmat -scale 14 -edges 200000 -seed 7 -out g.tsv
+//	plgen -kind uniform -n 10000 -edges 50000 -churn 5 -churnfrac 0.01 -out g.tsv
+//
+// -churn N additionally emits a seeded, reproducible mutation stream of
+// N batches against the generated graph (for session-churn benchmarks):
+// "- src dst" delete lines and "+ src dst w" insert lines, grouped under
+// "# batch k" headers, written to <out>.churn (or stdout after the edge
+// list when -out is unset).
 package main
 
 import (
@@ -28,6 +35,9 @@ func main() {
 	weighted := flag.Bool("weighted", false, "dataset: build the weighted variant")
 	out := flag.String("out", "", "output path (default stdout)")
 	stats := flag.Bool("stats", false, "print graph statistics instead of edges")
+	churn := flag.Int("churn", 0, "also emit a mutation stream of this many batches")
+	churnFrac := flag.Float64("churnfrac", 0.01, "churn: fraction of edges touched per batch")
+	churnKind := flag.String("churnkind", "mixed", "churn batch shape: insert, delete, or mixed")
 	flag.Parse()
 
 	var g *graph.Graph
@@ -83,6 +93,25 @@ func main() {
 	}
 	if err := g.WriteTSV(w); err != nil {
 		fail(err)
+	}
+
+	if *churn > 0 {
+		batches, _, err := gen.ChurnStream(g, *churnKind, *churnFrac, *churn, *seed)
+		if err != nil {
+			fail(err)
+		}
+		cw := w
+		if *out != "" {
+			f, err := os.Create(*out + ".churn")
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			cw = f
+		}
+		if err := gen.WriteChurnTSV(cw, batches); err != nil {
+			fail(err)
+		}
 	}
 }
 

@@ -228,32 +228,42 @@ type Measurement struct {
 	Metrics metrics.Snapshot
 }
 
-// RunMode times one engine mode on a prepared workload.
-func RunMode(w *Workload, mode runtime.Mode, cfg RunConfig) (Measurement, error) {
-	cfg = cfg.orDefaults()
+// engineConfig maps the harness settings onto a runtime.Config for one
+// mode (shared by RunMode and the session-based churn experiment).
+func (c RunConfig) engineConfig(mode runtime.Mode) (runtime.Config, error) {
+	c = c.orDefaults()
 	rc := runtime.Config{
-		Workers:           cfg.Workers,
+		Workers:           c.Workers,
 		Mode:              mode,
-		Tau:               cfg.Tau,
-		CheckInterval:     cfg.CheckInterval,
-		MaxWall:           cfg.MaxWall,
-		PriorityThreshold: cfg.PriorityThreshold,
-		OrderedScan:       cfg.OrderedScan,
-		Staleness:         cfg.Staleness,
-		CoresPerWorker:    cfg.Cores,
-		SnapshotDir:       cfg.SnapshotDir,
-		SnapshotEvery:     cfg.SnapshotEvery,
-		RestoreDir:        cfg.RestoreDir,
+		Tau:               c.Tau,
+		CheckInterval:     c.CheckInterval,
+		MaxWall:           c.MaxWall,
+		PriorityThreshold: c.PriorityThreshold,
+		OrderedScan:       c.OrderedScan,
+		Staleness:         c.Staleness,
+		CoresPerWorker:    c.Cores,
+		SnapshotDir:       c.SnapshotDir,
+		SnapshotEvery:     c.SnapshotEvery,
+		RestoreDir:        c.RestoreDir,
 	}
-	if cfg.Faults != "" {
-		spec, err := fault.ParseSpec(cfg.Faults)
+	if c.Faults != "" {
+		spec, err := fault.ParseSpec(c.Faults)
 		if err != nil {
-			return Measurement{}, fmt.Errorf("bench: -faults: %w", err)
+			return runtime.Config{}, fmt.Errorf("bench: -faults: %w", err)
 		}
 		rc.Fault = fault.New(spec)
 	}
-	if !cfg.PerfectNetwork {
+	if !c.PerfectNetwork {
 		rc.Network = runtime.NetworkProfile{KVsPerSecond: 10e6}
+	}
+	return rc, nil
+}
+
+// RunMode times one engine mode on a prepared workload.
+func RunMode(w *Workload, mode runtime.Mode, cfg RunConfig) (Measurement, error) {
+	rc, err := cfg.engineConfig(mode)
+	if err != nil {
+		return Measurement{}, err
 	}
 	res, err := runtime.Run(w.Plan, rc)
 	if err != nil {

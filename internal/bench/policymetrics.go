@@ -58,7 +58,52 @@ func PolicyMetrics(w io.Writer, cfg RunConfig) ([]Measurement, error) {
 			fmt.Fprintf(w, "    %-16s %8.3fs %7d %s\n", m.Series, m.Seconds, m.Rounds, policyRow(m.Metrics))
 		}
 	}
+	if err := sessionCounters(w, ds, cfg); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// sessionCounters prints the engine-lifecycle counters (DESIGN.md §10):
+// one session per session-capable mode runs an SSSP fixpoint and applies
+// a single small mixed mutation batch, and the master's merged registry
+// shows how many fixpoints the session converged ("engine.epoch"), how
+// many keys the Apply reseeded ("delta.reseed.keys"), and how many the
+// deletes' invalidation cone erased ("delete.invalidate.keys").
+func sessionCounters(w io.Writer, ds gen.Dataset, cfg RunConfig) error {
+	base := ds.Build(true)
+	fmt.Fprintf(w, "  Session (SSSP, one mixed 1%% batch):\n")
+	fmt.Fprintf(w, "    %-16s %12s %17s %21s\n", "mode", "engine.epoch", "delta.reseed.keys", "delete.invalidate.keys")
+	stream, _, err := gen.ChurnStream(base, "mixed", 0.01, 1, ds.Seed)
+	if err != nil {
+		return err
+	}
+	for _, mode := range sessionModes {
+		rc, err := cfg.engineConfig(mode)
+		if err != nil {
+			return err
+		}
+		plan, err := churnPlan("SSSP", base.NumVertices(), base.Edges(), true)
+		if err != nil {
+			return err
+		}
+		s, err := runtime.Open(plan, rc)
+		if err != nil {
+			return err
+		}
+		res, err := s.Apply(runtime.Mutation{Inserts: stream[0].Inserts, Deletes: stream[0].Deletes})
+		if err != nil {
+			s.Close()
+			return err
+		}
+		if err := s.Close(); err != nil {
+			return err
+		}
+		c := res.Master.Counters
+		fmt.Fprintf(w, "    %-16s %12d %17d %21d\n",
+			mode, c["engine.epoch"], c["delta.reseed.keys"], c["delete.invalidate.keys"])
+	}
+	return nil
 }
 
 // policyRow renders one mode's merged counters in the table's column

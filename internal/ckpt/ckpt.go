@@ -49,9 +49,16 @@ type Meta struct {
 	// Cut marks a consistent cut (restorable exactly); a stale snapshot
 	// (Cut=false) is only restorable for selective aggregates.
 	Cut bool
+	// MutEpoch is the mutation-log position the snapshot incorporates: 0
+	// for a one-shot run or a session's initial fixpoint, k after the
+	// k-th Apply. A restore replays the log entries after MutEpoch.
+	MutEpoch int
 }
 
-const magic = "PLCK\x02"
+const (
+	magic   = "PLCK\x03"
+	magicV2 = "PLCK\x02" // pre-session format: no MutEpoch word (read as 0)
+)
 
 // Write serialises rows with their Meta header to w.
 func Write(w io.Writer, meta Meta, rows []Row) error {
@@ -70,7 +77,7 @@ func Write(w io.Writer, meta Meta, rows []Row) error {
 	if meta.Cut {
 		flags |= 1
 	}
-	for _, v := range []uint64{uint64(meta.Epoch), uint64(meta.Worker), uint64(meta.Workers), flags} {
+	for _, v := range []uint64{uint64(meta.Epoch), uint64(meta.Worker), uint64(meta.Workers), flags, uint64(meta.MutEpoch)} {
 		if err := put(v); err != nil {
 			return err
 		}
@@ -103,7 +110,7 @@ func Read(r io.Reader) ([]Row, Meta, error) {
 	if _, err := io.ReadFull(tr, head); err != nil {
 		return nil, meta, fmt.Errorf("ckpt: short header: %w", err)
 	}
-	if string(head) != magic {
+	if string(head) != magic && string(head) != magicV2 {
 		return nil, meta, fmt.Errorf("ckpt: bad magic %q", head)
 	}
 	var buf [8]byte
@@ -113,7 +120,11 @@ func Read(r io.Reader) ([]Row, Meta, error) {
 		}
 		return binary.LittleEndian.Uint64(buf[:]), nil
 	}
-	var hdr [4]uint64
+	metaWords := 5
+	if string(head) == magicV2 {
+		metaWords = 4 // v2 predates sessions: no MutEpoch word
+	}
+	hdr := make([]uint64, metaWords)
 	for i := range hdr {
 		v, err := get()
 		if err != nil {
@@ -122,6 +133,9 @@ func Read(r io.Reader) ([]Row, Meta, error) {
 		hdr[i] = v
 	}
 	meta = Meta{Epoch: int(hdr[0]), Worker: int(int64(hdr[1])), Workers: int(hdr[2]), Cut: hdr[3]&1 != 0}
+	if metaWords > 4 {
+		meta.MutEpoch = int(hdr[4])
+	}
 	n, err := get()
 	if err != nil {
 		return nil, meta, fmt.Errorf("ckpt: bad count: %w", err)
@@ -319,7 +333,7 @@ func LoadAll(dir string) ([]Row, Meta, error) {
 	sort.Sort(sort.Reverse(sort.IntSlice(epochs)))
 
 	var chosen []shard
-	outMeta := Meta{Worker: -1, Workers: workers, Cut: cut}
+	outMeta := Meta{Worker: -1, Workers: workers, Cut: cut, MutEpoch: -1}
 	if cut {
 		// Newest epoch with the full worker set; an incomplete newest
 		// epoch (crash mid-episode) falls back to its predecessor.
@@ -370,6 +384,20 @@ func LoadAll(dir string) ([]Row, Meta, error) {
 			}
 		}
 		outMeta.Epoch = minEpoch
+	}
+	// The restorable mutation-log position is the minimum across the
+	// chosen shards: cut snapshots agree by construction; stale shards may
+	// straddle an Apply, and re-replaying an already-incorporated entry is
+	// sound for the selective aggregates stale restore is limited to
+	// (inserts are idempotent improvements, deletions invalidate-and-
+	// recompute against the already-mutated EDB).
+	for _, s := range chosen {
+		if outMeta.MutEpoch < 0 || s.meta.MutEpoch < outMeta.MutEpoch {
+			outMeta.MutEpoch = s.meta.MutEpoch
+		}
+	}
+	if outMeta.MutEpoch < 0 {
+		outMeta.MutEpoch = 0
 	}
 	var all []Row
 	for _, s := range chosen {

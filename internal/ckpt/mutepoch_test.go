@@ -1,0 +1,95 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+func TestMutEpochRoundTrip(t *testing.T) {
+	meta := Meta{Epoch: 9, Worker: 1, Workers: 2, Cut: true, MutEpoch: 4}
+	rows := []Row{{Key: 3, Acc: 1, Inter: 0.5}}
+	var buf bytes.Buffer
+	if err := Write(&buf, meta, rows); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != meta {
+		t.Fatalf("meta = %+v, want %+v", got, meta)
+	}
+}
+
+// writeV2 serialises the pre-session "PLCK\x02" format: the same layout
+// without the MutEpoch meta word.
+func writeV2(t *testing.T, meta Meta, rows []Row) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	crc := crc32.NewIEEE()
+	put := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf.Write(b[:])
+		crc.Write(b[:])
+	}
+	buf.WriteString(magicV2)
+	crc.Write([]byte(magicV2))
+	var flags uint64
+	if meta.Cut {
+		flags |= 1
+	}
+	for _, v := range []uint64{uint64(meta.Epoch), uint64(meta.Worker), uint64(meta.Workers), flags} {
+		put(v)
+	}
+	put(uint64(len(rows)))
+	for _, r := range rows {
+		put(uint64(r.Key))
+		put(math.Float64bits(r.Acc))
+		put(math.Float64bits(r.Inter))
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	buf.Write(tail[:])
+	return buf.Bytes()
+}
+
+func TestReadV2Compat(t *testing.T) {
+	meta := Meta{Epoch: 5, Worker: 0, Workers: 3, Cut: true}
+	rows := []Row{{Key: 7, Acc: 2.5, Inter: 0}, {Key: 11, Acc: -1, Inter: 4}}
+	got, gotMeta, err := Read(bytes.NewReader(writeV2(t, meta, rows)))
+	if err != nil {
+		t.Fatalf("v2 snapshot refused: %v", err)
+	}
+	if gotMeta.MutEpoch != 0 {
+		t.Fatalf("v2 MutEpoch = %d, want 0", gotMeta.MutEpoch)
+	}
+	if gotMeta.Epoch != meta.Epoch || gotMeta.Cut != meta.Cut || gotMeta.Workers != meta.Workers {
+		t.Fatalf("v2 meta = %+v, want %+v", gotMeta, meta)
+	}
+	if len(got) != len(rows) || got[0] != rows[0] || got[1] != rows[1] {
+		t.Fatalf("v2 rows = %+v, want %+v", got, rows)
+	}
+}
+
+func TestLoadAllMutEpochIsMinimum(t *testing.T) {
+	// A restore can only rely on the mutations EVERY chosen shard has
+	// incorporated, so LoadAll reports the minimum across shards.
+	dir := t.TempDir()
+	for w, me := range []int{3, 2} {
+		meta := Meta{Epoch: 4, Worker: w, Workers: 2, Cut: true, MutEpoch: me}
+		if err := SaveShard(dir, meta, []Row{{Key: int64(w), Acc: 1, Inter: 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, meta, err := LoadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.MutEpoch != 2 {
+		t.Fatalf("LoadAll MutEpoch = %d, want min shard value 2", meta.MutEpoch)
+	}
+}

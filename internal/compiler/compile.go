@@ -48,6 +48,28 @@ func Compile(info *analyzer.Info, db *edb.DB, opts Options) (*Plan, error) {
 	p.N = shape.g.NumVertices()
 	ensureNodeRelation(db, p.N)
 
+	// Record which supporting relations the compiler materialises (vs.
+	// relations the database already provided): those are the ones a
+	// base-fact mutation must re-derive, because they may read the graph.
+	materialised := func(heads []string) []string {
+		var out []string
+		for _, h := range heads {
+			if !db.HasPred(h) {
+				out = append(out, h)
+			}
+		}
+		return out
+	}
+	var otherHeads, derivedHeads []string
+	for _, r := range info.OtherRules {
+		otherHeads = append(otherHeads, r.Head.Name)
+	}
+	for _, r := range info.DerivedRules {
+		derivedHeads = append(derivedHeads, r.Head.Name)
+	}
+	shape.otherHeads = materialised(otherHeads)
+	shape.derivedHeads = materialised(derivedHeads)
+
 	if err := evalOtherRules(info, db); err != nil {
 		return nil, err
 	}
@@ -57,6 +79,7 @@ func Compile(info *analyzer.Info, db *edb.DB, opts Options) (*Plan, error) {
 	if err := resolveAttrs(info, db, shape); err != nil {
 		return nil, err
 	}
+	p.shape = shape
 
 	if err := compilePropagation(p, shape); err != nil {
 		return nil, err
@@ -80,6 +103,20 @@ type bodyShape struct {
 	g    *graph.Graph
 	join *ast.Pred // the resolved join predicate occurrence
 
+	// base is the graph as registered in the database; g == base unless
+	// the body is an in-neighbor formulation, in which case g is a
+	// transposed copy and reversed is true. A session mutation must be
+	// applied to both.
+	base     *graph.Graph
+	reversed bool
+
+	// otherHeads/derivedHeads name the supporting relations the compiler
+	// materialised (view rules and aggregate views such as PageRank's
+	// degree). They may read the graph, so a base-fact mutation drops and
+	// re-derives them.
+	otherHeads   []string
+	derivedHeads []string
+
 	// passIdx maps pair-key position 0 (hi) pass-through: for pair-keyed
 	// plans, the index in RecKeyVars that flows through unchanged.
 	// Single-key plans propagate their only key.
@@ -94,6 +131,7 @@ type bodyShape struct {
 
 type attrCol struct {
 	varName string
+	pred    string // relation the column is loaded from (for re-loading after a mutation)
 	col     []float64
 }
 
@@ -173,11 +211,13 @@ func resolveJoin(info *analyzer.Info, db *edb.DB) (*bodyShape, error) {
 			}
 		}
 	}
+	shape.base = g
 	switch {
 	case srcPos == 0 && dstPos == 1:
 		shape.g = g
 	case srcPos == 1 && dstPos == 0:
 		shape.g = g.Reverse() // in-neighbor formulation: transpose once
+		shape.reversed = true
 	default:
 		return nil, errf("join predicate %s must bind keys in its first two arguments", join.Name)
 	}
@@ -209,7 +249,7 @@ func resolveAttrs(info *analyzer.Info, db *edb.DB, shape *bodyShape) error {
 		if err != nil {
 			return err
 		}
-		ac := attrCol{varName: valT.Var, col: col}
+		ac := attrCol{varName: valT.Var, pred: p.Name, col: col}
 		switch keyT.Var {
 		case shape.srcVar:
 			shape.srcAttrs = append(shape.srcAttrs, ac)
@@ -223,87 +263,110 @@ func resolveAttrs(info *analyzer.Info, db *edb.DB, shape *bodyShape) error {
 	return nil
 }
 
-// compilePropagation builds the Propagate and PropagateFull closures.
-func compilePropagation(p *Plan, shape *bodyShape) error {
-	rec := p.Info.Rec
+// colSlot binds a scratch slot to a live attribute column.
+type colSlot struct {
+	slot int
+	col  []float64
+}
 
-	slots := map[string]int{rec.ValueVar: 0}
+// propLayout is the scratch-slot layout of the compiled propagation
+// expressions: slot 0 is the propagated value, then the edge weight,
+// then the source- and destination-keyed attribute columns.
+type propLayout struct {
+	slots            map[string]int
+	weightSlot       int
+	srcCols, dstCols []colSlot
+	nslots           int
+}
+
+// layoutSlots computes the slot layout for the recursive body. The
+// returned colSlots reference the live column slices in shape, so a
+// propagator built over them reads whatever the columns hold at call
+// time.
+func layoutSlots(rec *analyzer.RecInfo, shape *bodyShape) propLayout {
+	lay := propLayout{slots: map[string]int{rec.ValueVar: 0}, weightSlot: -1}
 	next := 1
-	weightSlot := -1
 	if shape.weightVar != "" {
-		weightSlot = next
-		slots[shape.weightVar] = next
+		lay.weightSlot = next
+		lay.slots[shape.weightVar] = next
 		next++
 	}
-	type colSlot struct {
-		slot int
-		col  []float64
-	}
-	var srcCols, dstCols []colSlot
 	for _, a := range shape.srcAttrs {
-		slots[a.varName] = next
-		srcCols = append(srcCols, colSlot{next, a.col})
+		lay.slots[a.varName] = next
+		lay.srcCols = append(lay.srcCols, colSlot{next, a.col})
 		next++
 	}
 	for _, a := range shape.dstAttrs {
-		slots[a.varName] = next
-		dstCols = append(dstCols, colSlot{next, a.col})
+		lay.slots[a.varName] = next
+		lay.dstCols = append(lay.dstCols, colSlot{next, a.col})
 		next++
 	}
-	nslots := next
+	lay.nslots = next
+	return lay
+}
+
+// buildPropagator compiles one propagation closure: apply f to a value
+// arriving at key and emit the per-edge contributions over g's
+// out-edges. The delta path (delta.go) builds extra propagators over a
+// pre-mutation graph snapshot with the same layout.
+func buildPropagator(f func([]float64) float64, g *graph.Graph, lay propLayout, pair bool) func([]float64, int64, float64, func(int64, float64)) {
+	weightSlot, srcCols, dstCols := lay.weightSlot, lay.srcCols, lay.dstCols
+	return func(vals []float64, key int64, value float64, emit func(int64, float64)) {
+		src := key
+		var hi int64
+		if pair {
+			hi, src = DecodePair(key)
+		}
+		if src < 0 || src >= int64(g.NumVertices()) {
+			return
+		}
+		vals[0] = value
+		for _, c := range srcCols {
+			vals[c.slot] = c.col[src]
+		}
+		lo, hiEdge := g.EdgeRange(int32(src))
+		for i := lo; i < hiEdge; i++ {
+			dst := int64(g.Target(i))
+			if weightSlot >= 0 {
+				vals[weightSlot] = g.Weight(i)
+			}
+			for _, c := range dstCols {
+				vals[c.slot] = c.col[dst]
+			}
+			out := dst
+			if pair {
+				out = EncodePair(hi, dst)
+			}
+			emit(out, f(vals))
+		}
+	}
+}
+
+// compilePropagation builds the Propagate and PropagateFull closures.
+func compilePropagation(p *Plan, shape *bodyShape) error {
+	rec := p.Info.Rec
+	lay := layoutSlots(rec, shape)
 
 	// Reject free variables that nothing binds.
 	for _, v := range rec.F.Vars() {
-		if _, ok := slots[v]; !ok {
+		if _, ok := lay.slots[v]; !ok {
 			return errf("variable %s in the recursive expression is not bound by any predicate", v)
 		}
 	}
 
-	fDelta, err := rec.FPrime.Compile(slots)
+	fDelta, err := rec.FPrime.Compile(lay.slots)
 	if err != nil {
 		return err
 	}
-	fFull, err := rec.F.Compile(slots)
+	fFull, err := rec.F.Compile(lay.slots)
 	if err != nil {
 		return err
 	}
 
-	g := p.Graph
-	build := func(f func([]float64) float64) func([]float64, int64, float64, func(int64, float64)) {
-		pair := p.PairKeys
-		return func(vals []float64, key int64, value float64, emit func(int64, float64)) {
-			src := key
-			var hi int64
-			if pair {
-				hi, src = DecodePair(key)
-			}
-			if src < 0 || src >= int64(g.NumVertices()) {
-				return
-			}
-			vals[0] = value
-			for _, c := range srcCols {
-				vals[c.slot] = c.col[src]
-			}
-			lo, hiEdge := g.EdgeRange(int32(src))
-			for i := lo; i < hiEdge; i++ {
-				dst := int64(g.Target(i))
-				if weightSlot >= 0 {
-					vals[weightSlot] = g.Weight(i)
-				}
-				for _, c := range dstCols {
-					vals[c.slot] = c.col[dst]
-				}
-				out := dst
-				if pair {
-					out = EncodePair(hi, dst)
-				}
-				emit(out, f(vals))
-			}
-		}
-	}
+	nslots := lay.nslots
 	p.NewScratch = func() []float64 { return make([]float64, nslots) }
-	p.PropagateInto = build(fDelta)
-	p.PropagateFullInto = build(fFull)
+	p.PropagateInto = buildPropagator(fDelta, p.Graph, lay, p.PairKeys)
+	p.PropagateFullInto = buildPropagator(fFull, p.Graph, lay, p.PairKeys)
 	// The convenience forms allocate scratch per call; the engine's scan
 	// passes hold per-goroutine scratch and use the Into forms.
 	p.Propagate = func(key int64, delta float64, emit func(int64, float64)) {

@@ -75,6 +75,21 @@ type Plan struct {
 	BaseNaive []KV
 
 	Termination TermSpec
+
+	// shape is the resolved propagation structure, retained so a session
+	// can re-derive supporting relations, attribute columns, and ΔX¹
+	// after a base-fact mutation (delta.go).
+	shape *bodyShape
+}
+
+// JoinPredicate names the base relation the recursive body joins — the
+// graph predicate Session mutations address. Empty for plans without a
+// retained shape.
+func (p *Plan) JoinPredicate() string {
+	if p.shape == nil || p.shape.join == nil {
+		return ""
+	}
+	return p.shape.join.Name
 }
 
 // EncodePair packs two 31-bit keys into one table key.

@@ -107,6 +107,81 @@ func (db *DB) Clone() *DB {
 // SetGraph registers a graph under a predicate name (e.g. "edge").
 func (db *DB) SetGraph(name string, g *graph.Graph) { db.graphs[name] = g }
 
+// DropRelation removes a relation from the registry. Used to invalidate
+// materialised graph views and derived relations after a base-fact
+// mutation so the next Relation/EvalBody call re-materialises against
+// the current graph.
+func (db *DB) DropRelation(name string) { delete(db.rels, name) }
+
+// MutateGraph applies edge inserts and deletes to the graph registered
+// under name, rebuilding its CSR in place (every holder of the *Graph
+// pointer sees the mutation), and drops the cached (src,dst,weight)
+// relation view so joins re-materialise it. The caller must have
+// quiesced all readers.
+func (db *DB) MutateGraph(name string, inserts, deletes []graph.Edge) error {
+	g, ok := db.graphs[name]
+	if !ok {
+		return fmt.Errorf("edb: no graph registered under %q", name)
+	}
+	if err := g.ApplyEdgeMutations(inserts, deletes); err != nil {
+		return err
+	}
+	db.DropRelation(name)
+	return nil
+}
+
+// GraphMutation is one batch of base-fact churn against a registered
+// graph predicate.
+type GraphMutation struct {
+	Pred    string
+	Inserts []graph.Edge
+	Deletes []graph.Edge
+}
+
+// LogEntry is one applied mutation batch, stamped with the session
+// epoch that incorporated it (epoch 1 = the first Apply after Open).
+type LogEntry struct {
+	Epoch int
+	Mut   GraphMutation
+}
+
+// MutationLog records applied mutations in epoch order. Checkpoints
+// stamp the log position (ckpt.Meta.MutEpoch) so a restore knows which
+// trailing entries still need replaying.
+type MutationLog struct {
+	entries []LogEntry
+}
+
+// Append records a mutation batch under epoch. Epochs must be
+// non-decreasing.
+func (l *MutationLog) Append(epoch int, mut GraphMutation) {
+	if n := len(l.entries); n > 0 && l.entries[n-1].Epoch > epoch {
+		panic(fmt.Sprintf("edb: mutation log epoch went backwards (%d after %d)", epoch, l.entries[n-1].Epoch))
+	}
+	l.entries = append(l.entries, LogEntry{Epoch: epoch, Mut: mut})
+}
+
+// Since returns the entries with Epoch > epoch (the trailing mutations
+// a restore from a checkpoint stamped `epoch` must replay).
+func (l *MutationLog) Since(epoch int) []LogEntry {
+	i := len(l.entries)
+	for i > 0 && l.entries[i-1].Epoch > epoch {
+		i--
+	}
+	return l.entries[i:]
+}
+
+// Len returns the number of recorded batches.
+func (l *MutationLog) Len() int { return len(l.entries) }
+
+// LastEpoch returns the newest recorded epoch (0 when empty).
+func (l *MutationLog) LastEpoch() int {
+	if len(l.entries) == 0 {
+		return 0
+	}
+	return l.entries[len(l.entries)-1].Epoch
+}
+
 // Graph returns the graph registered under name.
 func (db *DB) Graph(name string) (*graph.Graph, bool) {
 	g, ok := db.graphs[name]

@@ -1,0 +1,54 @@
+package edb
+
+import (
+	"testing"
+
+	"powerlog/internal/graph"
+)
+
+func TestMutateGraph(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 2, W: 2}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	db.SetGraph("edge", g)
+	if err := db.MutateGraph("edge", []graph.Edge{{Src: 2, Dst: 3, W: 5}}, []graph.Edge{{Src: 0, Dst: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// The registered *Graph is mutated in place: compiled closures that
+	// captured it see the new adjacency.
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+	got, ok := db.Graph("edge")
+	if !ok || got != g {
+		t.Fatal("graph identity changed under mutation")
+	}
+	if err := db.MutateGraph("nope", nil, nil); err == nil {
+		t.Fatal("mutating an unregistered graph succeeded")
+	}
+}
+
+func TestMutationLog(t *testing.T) {
+	var log MutationLog
+	if log.Len() != 0 || log.LastEpoch() != 0 {
+		t.Fatal("fresh log not empty")
+	}
+	log.Append(1, GraphMutation{Pred: "edge", Inserts: []graph.Edge{{Src: 0, Dst: 1}}})
+	log.Append(2, GraphMutation{Pred: "edge", Deletes: []graph.Edge{{Src: 0, Dst: 1}}})
+	log.Append(3, GraphMutation{Pred: "edge"})
+	if log.Len() != 3 || log.LastEpoch() != 3 {
+		t.Fatalf("Len=%d LastEpoch=%d, want 3 and 3", log.Len(), log.LastEpoch())
+	}
+	since := log.Since(1)
+	if len(since) != 2 || since[0].Epoch != 2 || since[1].Epoch != 3 {
+		t.Fatalf("Since(1) = %+v, want epochs 2,3", since)
+	}
+	if got := log.Since(3); len(got) != 0 {
+		t.Fatalf("Since(3) = %+v, want empty", got)
+	}
+	if got := log.Since(0); len(got) != 3 {
+		t.Fatalf("Since(0) returned %d entries, want 3", len(got))
+	}
+}

@@ -1,0 +1,119 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"powerlog/internal/graph"
+)
+
+// ChurnBatch is one reproducible batch of base-fact churn: edges to
+// insert and endpoint pairs to delete (a delete drops every parallel
+// edge with the pair, matching the engine's Mutation semantics).
+type ChurnBatch struct {
+	Inserts []graph.Edge
+	Deletes []graph.Edge
+}
+
+// ChurnStream draws `batches` mutation batches against g, each touching
+// about frac of the current edge count: kind "insert" adds fresh edges,
+// "delete" removes sampled existing pairs, "mixed" does both. The
+// stream is a pure function of (g, kind, frac, batches, seed), so a
+// bench or test run can regenerate it exactly; batches compose — each
+// draws against the edge list the previous batch left behind — and the
+// final edge list is returned for building the mutated graph directly.
+//
+// Inserted weights are sampled from the current weight distribution
+// (existing edges drawn uniformly), so weighted programs keep seeing
+// plausible inputs. When every base edge runs from a lower to a higher
+// vertex id (the DAG generators' topological-order invariant), inserts
+// preserve that orientation so DAG programs stay acyclic.
+func ChurnStream(g *graph.Graph, kind string, frac float64, batches int, seed int64) ([]ChurnBatch, []graph.Edge, error) {
+	switch kind {
+	case "insert", "delete", "mixed":
+	default:
+		return nil, nil, fmt.Errorf("gen: unknown churn kind %q (want insert, delete, or mixed)", kind)
+	}
+	if frac <= 0 || frac > 1 {
+		return nil, nil, fmt.Errorf("gen: churn fraction %v outside (0,1]", frac)
+	}
+	n := g.NumVertices()
+	if n < 2 {
+		return nil, nil, fmt.Errorf("gen: churn needs at least 2 vertices")
+	}
+	edges := g.Edges()
+	dag := true
+	for _, e := range edges {
+		if e.Src >= e.Dst {
+			dag = false
+			break
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]ChurnBatch, 0, batches)
+	for b := 0; b < batches; b++ {
+		k := int(frac * float64(len(edges)))
+		if k < 1 {
+			k = 1
+		}
+		var batch ChurnBatch
+		if kind != "insert" && len(edges) > 0 {
+			gone := map[int64]bool{}
+			for i := 0; i < k; i++ {
+				e := edges[rng.Intn(len(edges))]
+				pair := int64(e.Src)<<32 | int64(uint32(e.Dst))
+				if gone[pair] {
+					continue
+				}
+				gone[pair] = true
+				batch.Deletes = append(batch.Deletes, graph.Edge{Src: e.Src, Dst: e.Dst})
+			}
+			kept := make([]graph.Edge, 0, len(edges))
+			for _, e := range edges {
+				if !gone[int64(e.Src)<<32|int64(uint32(e.Dst))] {
+					kept = append(kept, e)
+				}
+			}
+			edges = kept
+		}
+		if kind != "delete" {
+			for i := 0; i < k; i++ {
+				src, dst := rng.Intn(n), rng.Intn(n)
+				if src == dst {
+					continue
+				}
+				if dag && src > dst {
+					src, dst = dst, src
+				}
+				w := 1.0
+				if g.Weighted() && len(edges) > 0 {
+					w = edges[rng.Intn(len(edges))].W
+				}
+				e := graph.Edge{Src: int32(src), Dst: int32(dst), W: w}
+				batch.Inserts = append(batch.Inserts, e)
+				edges = append(edges, e)
+			}
+		}
+		out = append(out, batch)
+	}
+	return out, edges, nil
+}
+
+// WriteChurnTSV renders a churn stream in the plgen text format: one
+// "# batch k" header per batch, then "+ src dst w" insert lines and
+// "- src dst" delete lines.
+func WriteChurnTSV(w io.Writer, batches []ChurnBatch) error {
+	bw := bufio.NewWriter(w)
+	for i, b := range batches {
+		fmt.Fprintf(bw, "# batch %d\n", i+1)
+		for _, e := range b.Deletes {
+			fmt.Fprintf(bw, "- %d %d\n", e.Src, e.Dst)
+		}
+		for _, e := range b.Inserts {
+			fmt.Fprintf(bw, "+ %d %d %g\n", e.Src, e.Dst, e.W)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,50 @@
+package graph
+
+import "fmt"
+
+// ApplyEdgeMutations rebuilds the CSR arrays in place behind the same
+// *Graph pointer: first every (src,dst) pair named in deletes is removed
+// (all parallel edges with that endpoint pair, regardless of weight),
+// then the inserts are appended. The vertex universe [0,n) is fixed at
+// construction time — mutations referencing vertices outside it are
+// rejected before anything is modified, so a failed call leaves the
+// graph untouched. Compiled plans capture the *Graph, so after a
+// successful call every closure sees the mutated adjacency.
+//
+// Concurrent readers are NOT safe during the call; callers must
+// quiesce the engine first (the session layer mutates only while all
+// workers are parked).
+func (g *Graph) ApplyEdgeMutations(inserts, deletes []Edge) error {
+	for _, e := range inserts {
+		if e.Src < 0 || e.Src >= g.n || e.Dst < 0 || e.Dst >= g.n {
+			return fmt.Errorf("graph: insert edge (%d,%d) outside [0,%d)", e.Src, e.Dst, g.n)
+		}
+	}
+	for _, e := range deletes {
+		if e.Src < 0 || e.Src >= g.n || e.Dst < 0 || e.Dst >= g.n {
+			return fmt.Errorf("graph: delete edge (%d,%d) outside [0,%d)", e.Src, e.Dst, g.n)
+		}
+	}
+	del := make(map[int64]struct{}, len(deletes))
+	for _, e := range deletes {
+		del[int64(e.Src)<<32|int64(uint32(e.Dst))] = struct{}{}
+	}
+	edges := make([]Edge, 0, len(g.targets)+len(inserts))
+	for v := int32(0); v < g.n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		for i := lo; i < hi; i++ {
+			dst := g.targets[i]
+			if _, gone := del[int64(v)<<32|int64(uint32(dst))]; gone {
+				continue
+			}
+			edges = append(edges, Edge{Src: v, Dst: dst, W: g.Weight(i)})
+		}
+	}
+	edges = append(edges, inserts...)
+	ng, err := FromEdges(int(g.n), edges, g.weights != nil)
+	if err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}

@@ -1,0 +1,86 @@
+package graph
+
+import "testing"
+
+func mutGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges(5, []Edge{
+		{Src: 0, Dst: 1, W: 1},
+		{Src: 0, Dst: 1, W: 2}, // parallel edge
+		{Src: 1, Dst: 2, W: 3},
+		{Src: 2, Dst: 3, W: 4},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestApplyEdgeMutationsDeleteRemovesAllParallel(t *testing.T) {
+	g := mutGraph(t)
+	if err := g.ApplyEdgeMutations(nil, []Edge{{Src: 0, Dst: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2 (both parallel (0,1) edges gone)", g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if e.Src == 0 && e.Dst == 1 {
+			t.Fatalf("edge (0,1) survived the delete")
+		}
+	}
+}
+
+func TestApplyEdgeMutationsInsertAfterDelete(t *testing.T) {
+	g := mutGraph(t)
+	// Deleting and re-inserting the same pair in one batch keeps the
+	// insert (deletes are applied first).
+	err := g.ApplyEdgeMutations([]Edge{{Src: 0, Dst: 1, W: 9}, {Src: 3, Dst: 4, W: 5}},
+		[]Edge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", g.NumEdges())
+	}
+	tg, ws := g.Neighbors(0)
+	if len(tg) != 1 || tg[0] != 1 || ws[0] != 9 {
+		t.Fatalf("neighbors(0) = %v %v, want the re-inserted (0,1,9)", tg, ws)
+	}
+	if lo, hi := g.EdgeRange(3); hi-lo != 1 || g.Target(lo) != 4 || g.Weight(lo) != 5 {
+		t.Fatalf("inserted edge (3,4,5) missing")
+	}
+}
+
+func TestApplyEdgeMutationsRejectsOutOfUniverse(t *testing.T) {
+	g := mutGraph(t)
+	before := g.NumEdges()
+	for _, bad := range [][2][]Edge{
+		{{{Src: 5, Dst: 0}}, nil},  // insert src out of range
+		{{{Src: 0, Dst: -1}}, nil}, // insert dst out of range
+		{nil, {{Src: 0, Dst: 7}}},  // delete out of range
+	} {
+		if err := g.ApplyEdgeMutations(bad[0], bad[1]); err == nil {
+			t.Fatalf("mutation %v accepted", bad)
+		}
+		if g.NumEdges() != before {
+			t.Fatalf("failed mutation modified the graph")
+		}
+	}
+}
+
+func TestApplyEdgeMutationsUnweighted(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{Src: 0, Dst: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ApplyEdgeMutations([]Edge{{Src: 1, Dst: 2, W: 99}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.Weighted() {
+		t.Fatal("mutation made an unweighted graph weighted")
+	}
+	if lo, _ := g.EdgeRange(1); g.Weight(lo) != 1 {
+		t.Fatalf("unweighted weight = %v, want 1", g.Weight(0))
+	}
+}

@@ -1,0 +1,73 @@
+package monotable
+
+import (
+	"testing"
+
+	"powerlog/internal/agg"
+)
+
+func invalidateTables() map[string]Table {
+	op := agg.ByKind(agg.Min)
+	return map[string]Table{
+		"dense":  NewDense(op, 16, 1, 0),
+		"sparse": NewSparse(op),
+	}
+}
+
+func TestInvalidateErasesRow(t *testing.T) {
+	for name, tab := range invalidateTables() {
+		id := tab.Op().Identity()
+		tab.FoldDelta(3, 7) // pending intermediate
+		if v, ok := tab.Drain(3); !ok || v != 7 {
+			t.Fatalf("%s: drain = %v,%v", name, v, ok)
+		}
+		tab.FoldAcc(3, 7)
+		tab.FoldDelta(3, 9) // a second, worse pending delta
+		tab.Invalidate(3)
+		if got := tab.Acc(3); got != id {
+			t.Errorf("%s: acc after Invalidate = %v, want identity", name, got)
+		}
+		if _, ok := tab.Drain(3); ok {
+			t.Errorf("%s: intermediate survived Invalidate", name)
+		}
+		if tab.Len() != 0 {
+			t.Errorf("%s: Len = %d after Invalidate, want 0", name, tab.Len())
+		}
+		// The key must re-derive from scratch afterwards: a worse value
+		// than the erased one now sticks.
+		tab.FoldDelta(3, 100)
+		if v, ok := tab.Drain(3); !ok || v != 100 {
+			t.Errorf("%s: re-derivation after Invalidate failed (%v,%v)", name, v, ok)
+		}
+		tab.FoldAcc(3, 100)
+		if got := tab.Acc(3); got != 100 {
+			t.Errorf("%s: acc after re-fold = %v, want 100", name, got)
+		}
+	}
+}
+
+func TestInvalidateLeavesOtherRows(t *testing.T) {
+	for name, tab := range invalidateTables() {
+		tab.FoldDelta(2, 5)
+		tab.Drain(2)
+		tab.FoldAcc(2, 5)
+		tab.FoldDelta(4, 6)
+		tab.Drain(4)
+		tab.FoldAcc(4, 6)
+		tab.Invalidate(2)
+		if got := tab.Acc(4); got != 6 {
+			t.Errorf("%s: neighbour row clobbered: acc(4) = %v", name, got)
+		}
+		rows := 0
+		tab.RangeRows(func(k int64, acc, inter float64) bool {
+			rows++
+			if k != 4 {
+				t.Errorf("%s: unexpected surviving row %d", name, k)
+			}
+			return true
+		})
+		if rows != 1 {
+			t.Errorf("%s: surviving rows = %d, want 1", name, rows)
+		}
+	}
+}

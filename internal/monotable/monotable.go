@@ -93,6 +93,13 @@ type Table interface {
 	// bypasses the monotone fold).
 	SetAcc(key int64, v float64)
 
+	// Invalidate erases key's row — Accumulation AND Intermediate back to
+	// the identity — so a delete-invalidation pass can force the key to
+	// re-derive from surviving inputs. Like SetAcc it bypasses the
+	// monotone fold and must only run while the engine is quiesced;
+	// callers maintaining a running Σacc must resync it afterwards.
+	Invalidate(key int64)
+
 	// Len returns the number of rows with non-identity Accumulation.
 	Len() int
 }
@@ -280,6 +287,14 @@ func (d *Dense) RangeRows(f func(key int64, acc, inter float64) bool) {
 // SetAcc implements Table.
 func (d *Dense) SetAcc(key int64, v float64) {
 	agg.Store(&d.acc[d.slot(key)], v)
+}
+
+// Invalidate implements Table. The dirty bit (if set) is left alone: a
+// later scan drains an identity Intermediate and skips the key.
+func (d *Dense) Invalidate(key int64) {
+	s := d.slot(key)
+	agg.Store(&d.acc[s], d.op.Identity())
+	agg.Store(&d.inter[s], d.op.Identity())
 }
 
 // Len implements Table.
@@ -534,6 +549,16 @@ func (s *Sparse) SetAcc(key int64, v float64) {
 	r := st.row(key, s.op)
 	st.mu.Unlock()
 	agg.Store(&r.acc, v)
+}
+
+// Invalidate implements Table: the row and its dirty entry are removed
+// outright, so the key re-derives (or stays absent) from scratch.
+func (s *Sparse) Invalidate(key int64) {
+	st := s.stripeOf(key)
+	st.mu.Lock()
+	delete(st.rows, key)
+	delete(st.dirty, key)
+	st.mu.Unlock()
 }
 
 // Len implements Table.

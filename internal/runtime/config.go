@@ -12,6 +12,7 @@
 package runtime
 
 import (
+	"fmt"
 	"io"
 	stdruntime "runtime"
 	"time"
@@ -185,6 +186,41 @@ func (p NetworkProfile) cost(n int) time.Duration {
 
 // Enabled reports whether any emulation is configured.
 func (p NetworkProfile) Enabled() bool { return p.Latency > 0 || p.KVsPerSecond > 0 }
+
+// ConfigError reports a Config field that fails validation, with the
+// field name machine-readable so callers can test for the exact
+// rejection (errors.As).
+type ConfigError struct {
+	Field  string // the Config field name, e.g. "Staleness"
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("runtime: invalid Config.%s: %s", e.Field, e.Reason)
+}
+
+// Validate rejects Config values that look like plausible settings but
+// have no defined meaning, before withDefaults would silently replace
+// them. Zero values are always legal (they select the documented
+// defaults), and PriorityThreshold < 0 stays legal — it is the
+// documented way to disable priority flushing explicitly. Run, Open,
+// RunWorker, and RunMaster all call this; it is exported so callers can
+// validate a config up front.
+func (c Config) Validate() error {
+	if c.Staleness < 0 {
+		return &ConfigError{Field: "Staleness",
+			Reason: fmt.Sprintf("negative staleness %d; SSP needs a bound >= 0 (0 selects the default)", c.Staleness)}
+	}
+	if c.CoresPerWorker < 0 {
+		return &ConfigError{Field: "CoresPerWorker",
+			Reason: fmt.Sprintf("negative core count %d; use 0 for the GOMAXPROCS default or a positive count", c.CoresPerWorker)}
+	}
+	if c.MetricsEvery < 0 {
+		return &ConfigError{Field: "MetricsEvery",
+			Reason: fmt.Sprintf("negative dump interval %v; use 0 to disable the periodic dump", c.MetricsEvery)}
+	}
+	return nil
+}
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {

@@ -35,10 +35,26 @@ type master struct {
 	rounds    int
 	converged bool
 	err       error // first liveness failure (wraps ErrWorkerLost)
+
+	// Session state (session.go). park makes a converged fixpoint park
+	// the fleet (Park + ParkDone collect) instead of stopping it; epoch
+	// is the session epoch being computed (1 = initial fixpoint); parked
+	// reports whether the last run() ended in a successful park. gRound
+	// counts master rounds cumulatively across epochs, so injected
+	// CrashRound faults keep one global timeline; passBase is the global
+	// pass watermark at the last park, the per-epoch baseline for the
+	// async iteration cap; episodes numbers snapshot episodes
+	// monotonically across epochs.
+	park     bool
+	epoch    int
+	parked   bool
+	gRound   int
+	passBase int64
+	episodes int
 }
 
 func newMaster(cfg Config, plan *compiler.Plan, conn transport.Conn) *master {
-	return &master{cfg: cfg, plan: plan, conn: conn, nw: cfg.Workers, met: newMasterMetrics()}
+	return &master{cfg: cfg, plan: plan, conn: conn, nw: cfg.Workers, met: newMasterMetrics(), epoch: 1}
 }
 
 // collectTimeout is the liveness deadline for one message during a
@@ -130,11 +146,42 @@ func (m *master) run() {
 	// The mode registry (policy.go) records which modes run the BSP
 	// verdict protocol; everything else — the async family and SSP —
 	// terminates via polling.
+	m.parked = false
 	if modeBarriered[m.cfg.Mode] {
 		m.runBSP()
 	} else {
 		m.runAsync()
 	}
+}
+
+// parkFleet replaces the Stop broadcast at a converged fixpoint when the
+// run is a session epoch: it issues Park and collects one ParkDone per
+// worker, after which every worker has fenced and drained its data lanes
+// and sits blocked on its inbox. The collect's happens-before edges make
+// the fleet's tables safe for the session goroutine to read and mutate
+// until it broadcasts EpochStart. A liveness failure here is the same
+// ErrWorkerLost as any other collect.
+func (m *master) parkFleet(deadline time.Time) {
+	m.bcast(transport.Message{Kind: transport.Park, Round: m.epoch})
+	for got := 0; got < m.nw; {
+		msg, ok, timedOut := m.recv()
+		if !ok {
+			return
+		}
+		if timedOut {
+			if time.Now().After(deadline) {
+				m.bcast(transport.Message{Kind: transport.Stop})
+				return
+			}
+			m.lost(m.gRound, got)
+			return
+		}
+		if msg.Kind == transport.ParkDone && msg.Round == m.epoch {
+			got++
+		}
+	}
+	m.parked = true
+	m.met.epochs.Inc()
 }
 
 // crashAt implements the injector's run-level faults at the top of a
@@ -161,7 +208,8 @@ func (m *master) runBSP() {
 	armed := false
 	for round := 1; ; round++ {
 		m.rounds = round
-		if crash, restart := m.crashAt(round); crash {
+		m.gRound++
+		if crash, restart := m.crashAt(m.gRound); crash {
 			return
 		} else if restart {
 			// The ε detector is self-stabilising: losing the armed flag
@@ -217,7 +265,11 @@ func (m *master) runBSP() {
 			stop = true
 		}
 		if stop {
-			m.bcast(transport.Message{Kind: transport.Stop})
+			if m.park && m.converged {
+				m.parkFleet(deadline)
+			} else {
+				m.bcast(transport.Message{Kind: transport.Stop})
+			}
 			return
 		}
 		m.bcast(transport.Message{Kind: transport.Continue})
@@ -250,7 +302,8 @@ func (m *master) runAsync() {
 	var candSent int64
 	for round := 0; ; round++ {
 		m.rounds = round + 1
-		if crash, restart := m.crashAt(round + 1); crash {
+		m.gRound++
+		if crash, restart := m.crashAt(m.gRound); crash {
 			return
 		} else if restart {
 			// Forget the detector state a restarted master would lose.
@@ -262,8 +315,14 @@ func (m *master) runAsync() {
 			prevPasses = -1
 			candArmed = false
 		}
-		if m.snapshotsDue(round) && !m.runEpisode(round/m.cfg.SnapshotEvery) {
-			return
+		if m.snapshotsDue(round) {
+			// Episodes are numbered by a cumulative counter so epochs stay
+			// monotonic across session fixpoints (round restarts at 0 each
+			// epoch; reusing its quotient would overwrite newer cuts).
+			m.episodes++
+			if !m.runEpisode(m.episodes) {
+				return
+			}
 		}
 		time.Sleep(m.cfg.CheckInterval)
 		m.met.rounds.Inc()
@@ -325,12 +384,19 @@ func (m *master) runAsync() {
 		}
 		// The system-level iteration cap counts effective iterations
 		// (average compute passes per worker), not master check rounds,
-		// so the cap has the same meaning as a superstep limit.
-		if passes/int64(m.nw) >= int64(m.plan.Termination.MaxIters) || time.Now().After(deadline) {
+		// so the cap has the same meaning as a superstep limit. passBase
+		// rebases the watermark at each session park so every epoch gets
+		// the full budget (workers' pass counters run on across epochs).
+		if (passes-m.passBase)/int64(m.nw) >= int64(m.plan.Termination.MaxIters) || time.Now().After(deadline) {
 			stop = true
 		}
 		if stop {
-			m.bcast(transport.Message{Kind: transport.Stop})
+			if m.park && m.converged {
+				m.passBase = passes
+				m.parkFleet(deadline)
+			} else {
+				m.bcast(transport.Message{Kind: transport.Stop})
+			}
 			return
 		}
 	}

@@ -90,6 +90,16 @@ type masterMetrics struct {
 	// collectTimeouts counts collects abandoned at the liveness deadline
 	// ("master.collect.timeout") — each one is an ErrWorkerLost.
 	collectTimeouts *metrics.Counter
+
+	// Session lifecycle counters (session.go, DESIGN.md §10). epochs
+	// counts fixpoints the session has converged ("engine.epoch");
+	// reseedKeys counts ΔX¹ correction entries folded at Apply
+	// ("delta.reseed.keys"); invalidateKeys counts table keys erased by
+	// deletion invalidation ("delete.invalidate.keys") — together they
+	// size the incremental work a mutation actually caused.
+	epochs         *metrics.Counter
+	reseedKeys     *metrics.Counter
+	invalidateKeys *metrics.Counter
 }
 
 func newMasterMetrics() masterMetrics {
@@ -99,6 +109,9 @@ func newMasterMetrics() masterMetrics {
 		rounds:          reg.Counter("master.round"),
 		collectWaitUS:   reg.Histogram("master.collect.wait_us"),
 		collectTimeouts: reg.Counter("master.collect.timeout"),
+		epochs:          reg.Counter("engine.epoch"),
+		reseedKeys:      reg.Counter("delta.reseed.keys"),
+		invalidateKeys:  reg.Counter("delete.invalidate.keys"),
 	}
 }
 

@@ -2,8 +2,6 @@ package runtime
 
 import (
 	"fmt"
-	"sync"
-	"time"
 
 	"powerlog/internal/ckpt"
 	"powerlog/internal/compiler"
@@ -13,109 +11,17 @@ import (
 
 // Run executes a compiled plan on an in-process worker fleet and returns
 // the final result. The same worker/master code drives every mode; only
-// the flush policy and barrier behaviour differ.
+// the flush policy and barrier behaviour differ. Run is the one-shot
+// form of the session lifecycle (session.go): it opens a Session,
+// takes the initial fixpoint's result, and closes the fleet.
 func Run(plan *compiler.Plan, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if plan.Propagate == nil || plan.Op == nil {
-		return nil, fmt.Errorf("runtime: plan is not compiled")
+	s, err := Open(plan, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if !modeRegistered(cfg.Mode) {
-		return nil, fmt.Errorf("runtime: mode %v has no registered policies", cfg.Mode)
-	}
-	if !cfg.Mode.MRA() && len(plan.BaseNaive) == 0 {
-		return nil, fmt.Errorf("runtime: naive evaluation has no base tuples to derive from")
-	}
-	cfg = applyPriorityDefault(cfg, plan)
-
-	net := transport.NewChannelNetwork(cfg.Workers, 4096)
-	workers := make([]*worker, cfg.Workers)
-	for i := range workers {
-		// Fault.Wrap is a no-op passthrough when no injector is set.
-		workers[i] = newWorker(i, cfg, plan, cfg.Fault.Wrap(net.Conn(i)))
-	}
-
-	// Seed state per mode: MRA folds ΔX¹ into the shards (or restores a
-	// checkpoint); naive re-derives base tuples every round from each
-	// worker's owned slice.
-	if cfg.Mode.MRA() {
-		if cfg.RestoreDir != "" {
-			rows, meta, err := ckpt.LoadAll(cfg.RestoreDir)
-			if err != nil {
-				return nil, err
-			}
-			if meta.Cut {
-				for _, w := range workers {
-					w.restore(rows)
-				}
-			} else {
-				if !plan.Op.Selective() {
-					return nil, fmt.Errorf("runtime: %s has only stale snapshots, which are safe to restore "+
-						"only for selective aggregates (Theorem 3); combining aggregates need a consistent cut", cfg.RestoreDir)
-				}
-				for _, w := range workers {
-					w.seed(plan.InitMRA)
-					w.restoreStale(rows)
-				}
-			}
-		} else {
-			for _, w := range workers {
-				w.seed(plan.InitMRA)
-			}
-		}
-	} else {
-		for _, kv := range plan.BaseNaive {
-			o := graph.Partition(kv.K, cfg.Workers)
-			workers[o].ownBase = append(workers[o].ownBase, kv)
-		}
-	}
-
-	m := newMaster(cfg, plan, net.Conn(transport.MasterID(cfg.Workers)))
-	dump := startMetricsDump(cfg, workers, m)
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	for _, w := range workers {
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			w.run()
-		}(w)
-	}
-	m.run()
-	wg.Wait()
-	elapsed := time.Since(start)
-	dump.close()
-	net.Close()
-
-	// Worker goroutines have exited, so sendErr reads are race-free
-	// (each worker's run() waits for its comm goroutine). A dead send
-	// path is the root cause of any master liveness timeout, so it is
-	// reported first.
-	for _, w := range workers {
-		if w.sendErr != nil {
-			return nil, fmt.Errorf("runtime: worker %d send failed: %w", w.id, w.sendErr)
-		}
-	}
-	if m.err != nil {
-		return nil, m.err
-	}
-
-	res := &Result{
-		Values:    map[int64]float64{},
-		Rounds:    m.rounds,
-		Elapsed:   elapsed,
-		Converged: m.converged,
-		Master:    m.met.reg.Snapshot(),
-	}
-	for _, w := range workers {
-		res.MessagesSent += w.sent
-		res.MessagesRecv += w.recv
-		res.Flushes += w.flushes
-		res.Workers = append(res.Workers, w.stats())
-		w.table.Range(func(k int64, v float64) bool {
-			res.Values[k] = v
-			return true
-		})
+	res := s.Result()
+	if cerr := s.Close(); cerr != nil {
+		return nil, cerr
 	}
 	return res, nil
 }
@@ -154,6 +60,9 @@ func applyPriorityDefault(cfg Config, plan *compiler.Plan) Config {
 // worker seeds only its own shard of ΔX¹ and returns its local share of
 // the result when the master stops the run.
 func RunWorker(plan *compiler.Plan, cfg Config, conn transport.Conn) (map[int64]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	cfg = applyPriorityDefault(cfg, plan)
 	cfg.Workers = conn.Workers()
@@ -203,6 +112,9 @@ func RunWorker(plan *compiler.Plan, cfg Config, conn transport.Conn) (map[int64]
 // reports the rounds executed and whether the run converged (as opposed
 // to hitting the iteration or wall-clock cap).
 func RunMaster(plan *compiler.Plan, cfg Config, conn transport.Conn) (rounds int, converged bool, err error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, false, err
+	}
 	cfg = cfg.withDefaults()
 	cfg.Workers = conn.Workers()
 	m := newMaster(cfg, plan, conn)

@@ -1,0 +1,461 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"powerlog/internal/ckpt"
+	"powerlog/internal/compiler"
+	"powerlog/internal/edb"
+	"powerlog/internal/graph"
+	"powerlog/internal/transport"
+)
+
+// Mutation is a batch of base-fact inserts and deletes against the
+// session's join graph (re-exported from the compiler, which owns the
+// delta computation).
+type Mutation = compiler.Mutation
+
+// Session is a long-lived engine instance (DESIGN.md §10): Open loads
+// the EDB shards and computes the initial fixpoint, Apply folds a batch
+// of base-fact insertions and deletions into the EDB and re-converges
+// incrementally — without restarting workers or recomputing from
+// scratch — and Close tears the fleet down. Between fixpoints the
+// workers stay parked on their inboxes with their MonoTable shards
+// warm; an Apply reseeds exactly the keys the mutation can affect (the
+// compiler's ΔX¹ correction for combining aggregates, an invalidation
+// cone plus boundary reseed for selective ones) and restarts the
+// termination protocol for one more epoch.
+//
+// A Session is not safe for concurrent use: Open, Apply, Result, and
+// Close must be called from one goroutine (the same goroutine runs the
+// master's termination protocol inside Open and Apply).
+//
+// Error model: a mutation that fails validation (an edge outside the
+// vertex universe) is rejected with the EDB untouched and the session
+// still usable. A fixpoint that ends any other way than a clean park —
+// an injected crash, a lost worker, the iteration cap, the wall clock —
+// poisons the session: the error is sticky, every later Apply returns
+// it, and the caller's recovery path is Close and re-Open (optionally
+// from a RestoreDir checkpoint, replaying the mutation log past the
+// snapshot's MutEpoch).
+type Session struct {
+	cfg     Config
+	plan    *compiler.Plan
+	net     *transport.ChannelNetwork
+	workers []*worker
+	m       *master
+	wg      sync.WaitGroup
+	dump    *metricsDumper
+
+	// log records every applied mutation with its epoch; mutEpoch is the
+	// log position the current table state incorporates (restored from
+	// the checkpoint's MutEpoch when Open resumes from RestoreDir).
+	// engEpoch counts fixpoints this session has computed (1 = initial).
+	log      *edb.MutationLog
+	mutEpoch int
+	engEpoch int
+
+	res       *Result
+	err       error // sticky epoch failure; every later Apply returns it
+	fleetDown bool  // worker goroutines have exited
+	closed    bool
+
+	// Cumulative worker counters at the last epoch boundary, so each
+	// Result reports per-epoch message traffic.
+	prevSent, prevRecv, prevFlush int64
+
+	ckptEpoch int // monotone stamp for park-boundary checkpoints
+}
+
+// Open compiles nothing — the plan is already compiled — but stands up
+// the worker fleet, seeds ΔX¹ (or restores a checkpoint), and runs the
+// initial fixpoint. For MRA modes a converged fixpoint parks the fleet
+// for later Applys; naive mode runs to completion (it cannot
+// re-fixpoint incrementally) and only Result/Close are useful
+// afterwards. Open returns an error for invalid configs, unrestorable
+// checkpoints, and transport failures; a fixpoint that merely failed to
+// converge (iteration cap, injected crash) still returns a Session so
+// the caller can inspect the Result, but the session is poisoned for
+// Apply.
+func Open(plan *compiler.Plan, cfg Config) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if plan.Propagate == nil || plan.Op == nil {
+		return nil, fmt.Errorf("runtime: plan is not compiled")
+	}
+	if !modeRegistered(cfg.Mode) {
+		return nil, fmt.Errorf("runtime: mode %v has no registered policies", cfg.Mode)
+	}
+	if !cfg.Mode.MRA() && len(plan.BaseNaive) == 0 {
+		return nil, fmt.Errorf("runtime: naive evaluation has no base tuples to derive from")
+	}
+	cfg = applyPriorityDefault(cfg, plan)
+
+	// Load any restore state before standing up goroutines, so a
+	// corrupt checkpoint fails cleanly.
+	var restoreRows []ckpt.Row
+	var restoreMeta ckpt.Meta
+	restoring := false
+	if cfg.Mode.MRA() && cfg.RestoreDir != "" {
+		rows, meta, err := ckpt.LoadAll(cfg.RestoreDir)
+		if err != nil {
+			return nil, err
+		}
+		if !meta.Cut && !plan.Op.Selective() {
+			return nil, fmt.Errorf("runtime: %s has only stale snapshots, which are safe to restore "+
+				"only for selective aggregates (Theorem 3); combining aggregates need a consistent cut", cfg.RestoreDir)
+		}
+		restoreRows, restoreMeta, restoring = rows, meta, true
+	}
+
+	net := transport.NewChannelNetwork(cfg.Workers, 4096)
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		// Fault.Wrap is a no-op passthrough when no injector is set.
+		workers[i] = newWorker(i, cfg, plan, cfg.Fault.Wrap(net.Conn(i)))
+	}
+
+	s := &Session{
+		cfg:     cfg,
+		plan:    plan,
+		net:     net,
+		workers: workers,
+		log:     &edb.MutationLog{},
+		engEpoch: 1,
+	}
+
+	// Seed state per mode: MRA folds ΔX¹ into the shards (or restores a
+	// checkpoint); naive re-derives base tuples every round from each
+	// worker's owned slice.
+	if cfg.Mode.MRA() {
+		switch {
+		case restoring && restoreMeta.Cut:
+			for _, w := range workers {
+				w.restore(restoreRows)
+			}
+		case restoring:
+			for _, w := range workers {
+				w.seed(plan.InitMRA)
+				w.restoreStale(restoreRows)
+			}
+		default:
+			for _, w := range workers {
+				w.seed(plan.InitMRA)
+			}
+		}
+		if restoring {
+			// Resume the mutation-log position the snapshot incorporates:
+			// the caller replays its trailing log entries through Apply.
+			s.mutEpoch = restoreMeta.MutEpoch
+			for _, w := range workers {
+				w.mutEpoch = restoreMeta.MutEpoch
+			}
+		}
+	} else {
+		for _, kv := range plan.BaseNaive {
+			o := graph.Partition(kv.K, cfg.Workers)
+			workers[o].ownBase = append(workers[o].ownBase, kv)
+		}
+	}
+
+	s.m = newMaster(cfg, plan, net.Conn(transport.MasterID(cfg.Workers)))
+	// Naive evaluation cannot park: its fixpoint is a full re-derivation,
+	// so the initial run goes to completion and Apply stays rejected.
+	s.m.park = cfg.Mode.MRA()
+	s.dump = startMetricsDump(cfg, workers, s.m)
+
+	start := time.Now()
+	for _, w := range workers {
+		s.wg.Add(1)
+		go func(w *worker) {
+			defer s.wg.Done()
+			w.run()
+		}(w)
+	}
+	s.m.run()
+	res, err := s.finishEpoch(start)
+	if err != nil {
+		// Transport death or a lost worker: nothing to resume — tear
+		// down fully so the caller doesn't have to Close a corpse.
+		s.teardown()
+		return nil, err
+	}
+	s.res = res
+	return s, nil
+}
+
+// Apply folds a batch of base-fact changes into the EDB and converges
+// to the mutated program's fixpoint from the parked state, returning
+// that epoch's Result. The returned Result's message and flush counts
+// are per-epoch (work this Apply caused), not cumulative.
+func (s *Session) Apply(mut Mutation) (*Result, error) {
+	if s.closed {
+		return nil, fmt.Errorf("runtime: session is closed")
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.cfg.Mode.MRA() {
+		return nil, fmt.Errorf("runtime: naive evaluation re-derives from scratch and cannot re-fixpoint incrementally; use an MRA mode")
+	}
+	if s.fleetDown {
+		return nil, fmt.Errorf("runtime: session fleet is stopped (the initial fixpoint did not park)")
+	}
+	start := time.Now()
+
+	// Compiler-side delta: mutate the EDB (graph, derived relations,
+	// attribute columns, ΔX¹) and compute the reseed/invalidation work.
+	// The fleet is parked, so the in-place CSR rebuild and the acc scans
+	// below are race-free. A validation error leaves the EDB untouched
+	// and the session usable.
+	refix, err := s.plan.ApplyMutation(mut, s.rangeAcc)
+	if err != nil {
+		return nil, err
+	}
+	s.mutEpoch++
+	s.log.Append(s.mutEpoch, edb.GraphMutation{
+		Pred:    s.plan.JoinPredicate(),
+		Inserts: mut.Inserts,
+		Deletes: mut.Deletes,
+	})
+
+	// Deletion invalidation: erase every key whose lo-component lies in
+	// the over-approximate cone R, then rebuild each worker's exact Σacc
+	// (Invalidate bypasses the monotone fold the running sum tracks).
+	if refix.InvalidateLo != nil {
+		inR := refix.InvalidateLo
+		var doomed []int64
+		for _, w := range s.workers {
+			doomed = doomed[:0]
+			w.table.RangeRows(func(k int64, _, _ float64) bool {
+				lo := k
+				if s.plan.PairKeys {
+					_, lo = compiler.DecodePair(k)
+				}
+				if lo >= 0 && lo < int64(len(inR)) && inR[lo] {
+					doomed = append(doomed, k)
+				}
+				return true
+			})
+			for _, k := range doomed {
+				w.table.Invalidate(k)
+			}
+			s.m.met.invalidateKeys.Add(uint64(len(doomed)))
+			w.resyncAccSum()
+		}
+	}
+
+	// Reseed: fold the correction ΔX¹ into the owners' shards. The folds
+	// mark the rows dirty, which is exactly the next epoch's frontier.
+	for _, kv := range refix.Reseed {
+		s.workers[graph.Partition(kv.K, len(s.workers))].table.FoldDelta(kv.K, kv.V)
+	}
+	s.m.met.reseedKeys.Add(uint64(len(refix.Reseed)))
+
+	// Stamp the new mutation-log position into the workers (their
+	// mid-fixpoint snapshots carry it) and write the park-boundary
+	// checkpoint: a consistent view of "mutation applied, re-fixpoint
+	// pending" that restores by simply running to convergence.
+	for _, w := range s.workers {
+		w.mutEpoch = s.mutEpoch
+	}
+	if s.cfg.SnapshotDir != "" {
+		s.writeParkCheckpoint()
+	}
+
+	// One more epoch: wake the fleet and run the termination protocol.
+	s.engEpoch++
+	s.m.epoch = s.engEpoch
+	s.m.bcast(transport.Message{Kind: transport.EpochStart, Round: s.engEpoch})
+	s.m.run()
+	res, err := s.finishEpoch(start)
+	if err != nil {
+		s.fail(err)
+		return nil, err
+	}
+	if !s.m.parked {
+		// Crash injection, iteration cap, or wall clock: the master
+		// stopped the fleet, so the warm state is gone. Poison the
+		// session; recovery is Close + Open(RestoreDir) + log replay.
+		res := s.collect(time.Since(start))
+		s.res = res
+		s.fail(fmt.Errorf("runtime: session epoch %d stopped without converging (crash, iteration cap, or wall-clock limit)", s.engEpoch))
+		return nil, s.err
+	}
+	s.res = res
+	return res, nil
+}
+
+// rangeAcc is the AccRanger the compiler's delta computation scans the
+// distributed table with: every non-identity accumulation across all
+// shards. Only sound while the fleet is parked.
+func (s *Session) rangeAcc(f func(key int64, acc float64)) {
+	for _, w := range s.workers {
+		w.table.Range(func(k int64, v float64) bool {
+			f(k, v)
+			return true
+		})
+	}
+}
+
+// finishEpoch classifies how m.run() ended. It returns an error only
+// for fleet-level failures (dead transport, lost worker); a merely
+// unconverged stop returns the collected Result with Converged=false
+// (callers decide whether that poisons the session).
+func (s *Session) finishEpoch(start time.Time) (*Result, error) {
+	elapsed := time.Since(start)
+	if !s.m.parked {
+		// The master stopped the fleet (completion without park is the
+		// naive path; otherwise crash/cap/wall) — or lost it. Wait for
+		// the goroutines so the counters below are settled.
+		s.wg.Wait()
+		s.fleetDown = true
+		for _, w := range s.workers {
+			if w.sendErr != nil {
+				return nil, fmt.Errorf("runtime: worker %d send failed: %w", w.id, w.sendErr)
+			}
+		}
+		if s.m.err != nil {
+			return nil, s.m.err
+		}
+	}
+	return s.collect(elapsed), nil
+}
+
+// collect snapshots the fleet's state into a Result. Safe either after
+// the workers exited (fleetDown) or while they are parked (the ParkDone
+// collect's happens-before edges cover every counter and table write).
+func (s *Session) collect(elapsed time.Duration) *Result {
+	res := &Result{
+		Values:    map[int64]float64{},
+		Rounds:    s.m.rounds,
+		Elapsed:   elapsed,
+		Converged: s.m.converged,
+		Master:    s.m.met.reg.Snapshot(),
+	}
+	var sent, recv, flushes int64
+	for _, w := range s.workers {
+		sent += w.sent
+		recv += w.recv
+		flushes += w.flushes
+		res.Workers = append(res.Workers, w.stats())
+		w.table.Range(func(k int64, v float64) bool {
+			res.Values[k] = v
+			return true
+		})
+	}
+	res.MessagesSent = sent - s.prevSent
+	res.MessagesRecv = recv - s.prevRecv
+	res.Flushes = flushes - s.prevFlush
+	s.prevSent, s.prevRecv, s.prevFlush = sent, recv, flushes
+	return res
+}
+
+// writeParkCheckpoint saves every shard at the park boundary, stamped
+// with the mutation-log position just applied. The epoch stamp is kept
+// above every snapshot the fleet has written so far (BSP barrier
+// rounds, episode numbers, async pass counts), so LoadAll's newest-wins
+// selection prefers it; the Cut flag matches the kind the mode's
+// mid-fixpoint snapshots use, because LoadAll refuses directories that
+// mix kinds. Best-effort, like every other snapshot path: durability
+// must never fail the run.
+func (s *Session) writeParkCheckpoint() {
+	cut := modeBarriered[s.cfg.Mode] || !s.plan.Op.Selective()
+	e := s.ckptEpoch + 1
+	for _, w := range s.workers {
+		if w.rounds >= e {
+			e = w.rounds + 1
+		}
+		if int(w.passes) >= e {
+			e = int(w.passes) + 1
+		}
+		if w.staleEpoch >= e {
+			e = w.staleEpoch + 1
+		}
+	}
+	if s.m.episodes >= e {
+		e = s.m.episodes + 1
+	}
+	s.ckptEpoch = e
+	for _, w := range s.workers {
+		var rows []ckpt.Row
+		w.table.RangeRows(func(k int64, acc, inter float64) bool {
+			rows = append(rows, ckpt.Row{Key: k, Acc: acc, Inter: inter})
+			return true
+		})
+		meta := ckpt.Meta{Epoch: e, Worker: w.id, Workers: len(s.workers), Cut: cut, MutEpoch: s.mutEpoch}
+		_ = ckpt.SaveShard(s.cfg.SnapshotDir, meta, rows)
+		// Keep the worker's own stale-snapshot clock at or above this
+		// stamp so its later local snapshots sort newer, not older.
+		if w.staleEpoch < e {
+			w.staleEpoch = e
+		}
+	}
+}
+
+// fail records the first sticky error and stops the fleet if it is
+// still up.
+func (s *Session) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	if !s.fleetDown {
+		s.m.bcast(transport.Message{Kind: transport.Stop})
+		s.wg.Wait()
+		s.fleetDown = true
+	}
+}
+
+// teardown releases everything; used by Open's error path and Close.
+func (s *Session) teardown() {
+	if !s.fleetDown {
+		s.m.bcast(transport.Message{Kind: transport.Stop})
+		s.wg.Wait()
+		s.fleetDown = true
+	}
+	s.dump.close()
+	s.net.Close()
+	s.closed = true
+}
+
+// Close stops the parked fleet and releases the transport. Idempotent.
+// It returns the first transport failure seen during shutdown, if any;
+// the session's sticky epoch error is reported by Apply/Err, not here.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.teardown()
+	for _, w := range s.workers {
+		if w.sendErr != nil {
+			return fmt.Errorf("runtime: worker %d send failed: %w", w.id, w.sendErr)
+		}
+	}
+	return nil
+}
+
+// Result returns the most recent fixpoint's Result (the initial one
+// after Open, the latest Apply's afterwards).
+func (s *Session) Result() *Result { return s.res }
+
+// Epoch returns the number of fixpoints this session has computed; the
+// initial fixpoint is epoch 1.
+func (s *Session) Epoch() int { return s.engEpoch }
+
+// MutEpoch returns the mutation-log position the current state
+// incorporates: 0 after a fresh Open, k after the k-th Apply, or the
+// restored checkpoint's position after Open(RestoreDir) — the caller
+// replays its own log entries past this point to catch up.
+func (s *Session) MutEpoch() int { return s.mutEpoch }
+
+// Log returns the mutation log of this session's Applys (entries are
+// stamped 1..MutEpoch; a restored session starts empty at the restored
+// position).
+func (s *Session) Log() *edb.MutationLog { return s.log }
+
+// Err returns the session's sticky error, if an epoch failed.
+func (s *Session) Err() error { return s.err }

@@ -102,6 +102,19 @@ type worker struct {
 	resumeEpoch   int
 	staleEpoch    int // last local stale-snapshot epoch (episode.go)
 
+	// Session-epoch state (session.go). curEpoch is the fixpoint this
+	// worker is computing (1 = the initial fixpoint); parkEpoch is the
+	// highest Park the master has issued; parkMarks is the per-peer
+	// ParkMark vector (the data-lane fence mirroring snapMarks); epochGo
+	// is the highest EpochStart seen; mutEpoch stamps snapshots with the
+	// mutation-log position they incorporate (the session advances it
+	// while the worker is parked).
+	curEpoch  int
+	parkEpoch int
+	parkMarks []int
+	epochGo   int
+	mutEpoch  int
+
 	// sendErr records the first unrecoverable transport failure seen by
 	// the comm goroutine; sendDead flags it for the compute loop, which
 	// stops instead of computing into a dead network. Run/RunWorker
@@ -159,6 +172,8 @@ func newWorker(id int, cfg Config, plan *compiler.Plan, conn transport.Conn) *wo
 		lastFlush: make([]time.Time, cfg.Workers),
 		peerSteps: make([]int, cfg.Workers),
 		snapMarks: make([]int, cfg.Workers),
+		parkMarks: make([]int, cfg.Workers),
+		curEpoch:  1,
 		dataSeq:   make([]int64, cfg.Workers),
 		dataSeen:  make([]dedupWindow, cfg.Workers),
 		win: window{
@@ -342,7 +357,7 @@ func (w *worker) commLoop() {
 // preserve per-destination ordering.
 func (w *worker) enqueue(to int, m transport.Message) {
 	lane := w.out
-	if m.Kind == transport.StatsReply || m.Kind == transport.PhaseDone {
+	if m.Kind == transport.StatsReply || m.Kind == transport.PhaseDone || m.Kind == transport.ParkDone {
 		lane = w.outCtrl
 	}
 	for {
@@ -453,6 +468,22 @@ func (w *worker) handle(m transport.Message) {
 	case transport.Resume:
 		if m.Round > w.resumeEpoch {
 			w.resumeEpoch = m.Round
+		}
+	case transport.Park:
+		if m.Round > w.parkEpoch {
+			w.parkEpoch = m.Round
+		}
+		// For barriered modes Park doubles as the superstep verdict: the
+		// worker sitting in awaitVerdict must unwind without setting
+		// stopped, so the run loop reaches the park handshake.
+		w.verdict, w.verdictSet = transport.Park, true
+	case transport.ParkMark:
+		if m.From >= 0 && m.From < len(w.parkMarks) && m.Round > w.parkMarks[m.From] {
+			w.parkMarks[m.From] = m.Round
+		}
+	case transport.EpochStart:
+		if m.Round > w.epochGo {
+			w.epochGo = m.Round
 		}
 	}
 }
@@ -578,7 +609,7 @@ func (w *worker) snapshot(epoch int, cut bool) error {
 		rows = append(rows, ckpt.Row{Key: k, Acc: acc, Inter: inter})
 		return true
 	})
-	meta := ckpt.Meta{Epoch: epoch, Worker: w.id, Workers: w.nw, Cut: cut}
+	meta := ckpt.Meta{Epoch: epoch, Worker: w.id, Workers: w.nw, Cut: cut, MutEpoch: w.mutEpoch}
 	return ckpt.SaveShard(w.cfg.SnapshotDir, meta, rows)
 }
 
@@ -627,7 +658,11 @@ func (w *worker) drainInbox() bool {
 // run executes the worker until the master stops it: the single unified
 // compute loop, bracketed by the mode's BarrierPolicy. Every mode —
 // naive/MRA BSP, the async family, SSP — is this loop with different
-// policies plugged in.
+// policies plugged in. In a session (session.go) the loop is wrapped in
+// an epoch loop: when the master parks the fleet at a fixpoint instead
+// of stopping it, the worker quiesces its data lanes, blocks until the
+// session has applied a base-fact mutation, and re-enters the compute
+// loop on the reseeded shard.
 func (w *worker) run() {
 	defer func() {
 		w.scan.close() // nil-safe: park-for-good the subshard cores
@@ -641,7 +676,22 @@ func (w *worker) run() {
 		w.scan.lastDrained = w.table.DirtyApprox()
 	}
 	w.pol.barrier.setup(w)
-	for !w.stopped && !w.sendDead.Load() {
+	for {
+		w.runFixpoint()
+		if w.stopped || w.sendDead.Load() || !w.parkPending() {
+			return
+		}
+		if !w.parkAndAwait() {
+			return
+		}
+	}
+}
+
+// runFixpoint is one fixpoint's worth of the unified compute loop. It
+// returns when the worker is stopped, its send path died, or the master
+// parked the fleet (session epoch boundary).
+func (w *worker) runFixpoint() {
+	for !w.stopped && !w.sendDead.Load() && !w.parkPending() {
 		progressed := w.pol.barrier.beginPass(w)
 		if w.stopped {
 			return
@@ -653,6 +703,97 @@ func (w *worker) run() {
 			return
 		}
 	}
+}
+
+// parkPending reports whether the master has parked the current epoch.
+func (w *worker) parkPending() bool { return w.parkEpoch >= w.curEpoch }
+
+// broadcastParkMark fences this epoch's data on every peer link (data
+// lane: per-pair ordering guarantees all data sent this epoch lands
+// before the mark). Marks carry the epoch and receivers keep the max, so
+// retransmissions are idempotent.
+func (w *worker) broadcastParkMark(epoch int) {
+	for j := 0; j < w.nw; j++ {
+		if j != w.id {
+			w.enqueue(j, transport.Message{Kind: transport.ParkMark, Round: epoch})
+		}
+	}
+}
+
+func (w *worker) minParkMarks() int {
+	least := -1
+	for j, s := range w.parkMarks {
+		if j == w.id {
+			continue
+		}
+		if least < 0 || s < least {
+			least = s
+		}
+	}
+	if least < 0 {
+		return int(^uint(0) >> 1) // single worker: nothing to wait for
+	}
+	return least
+}
+
+// parkAndAwait runs the epoch-boundary handshake: flush every buffer,
+// fence the data lanes with ParkMarks, fold incoming data until every
+// peer's mark for this epoch arrives (per-pair FIFO means everything
+// folded was sent before the peer's fence — the in-flight deltas an
+// ε-termination may leave behind), report ParkDone, and block until the
+// session starts the next epoch or stops the fleet. Once ParkDone is
+// sent no peer sends Data again this epoch (their own fences are
+// already up), so the session goroutine — which observes the ParkDone
+// through the master's inbox, a happens-before edge — may read and
+// mutate this worker's table until it broadcasts EpochStart.
+func (w *worker) parkAndAwait() bool {
+	e := w.curEpoch
+	w.flushAll()
+	w.broadcastParkMark(e)
+	for !w.stopped && !w.sendDead.Load() && w.minParkMarks() < e {
+		select {
+		case m, ok := <-w.conn.Inbox():
+			if !ok {
+				w.stopped = true
+				return false
+			}
+			w.handle(m)
+		case <-time.After(markerResend):
+			// A lost mark would wedge a peer's handshake; re-fencing is
+			// free (receivers keep the max).
+			w.met.markerResends.Inc()
+			w.broadcastParkMark(e)
+		}
+	}
+	if w.stopped || w.sendDead.Load() {
+		return false
+	}
+	w.enqueue(transport.MasterID(w.nw), transport.Message{Kind: transport.ParkDone, Round: e})
+	for !w.stopped && !w.sendDead.Load() && w.epochGo <= e {
+		select {
+		case m, ok := <-w.conn.Inbox():
+			if !ok {
+				w.stopped = true
+				return false
+			}
+			w.handle(m)
+		case <-time.After(markerResend):
+			// Keep healing peer handshakes while parked: a peer whose view
+			// of our mark was lost is still blocked pre-ParkDone.
+			w.broadcastParkMark(e)
+		}
+	}
+	if w.stopped || w.sendDead.Load() {
+		return false
+	}
+	w.curEpoch = e + 1
+	w.verdictSet = false
+	if w.scan != nil {
+		// The session reseeded the shard; the new dirty count stands in
+		// for "last pass's drain" exactly like the initial seed.
+		w.scan.lastDrained = w.table.DirtyApprox()
+	}
+	return true
 }
 
 // scanPass is the shared MRA compute body (paper Figure 7): drain a

@@ -35,12 +35,16 @@ const (
 	SnapMark                 // worker → worker, data lane: Chandy–Lamport cut marker
 	SnapDone                 // worker → master: shard for the episode is durable
 	Resume                   // master → workers: episode complete, resume computing
+	Park                     // master → workers: fixpoint reached, park for the next session epoch (Round = epoch)
+	ParkMark                 // worker → worker, data lane: no more data from sender this epoch
+	ParkDone                 // worker → master: drained all peers' ParkMarks, parked
+	EpochStart               // master → workers: mutations applied, run another fixpoint (Round = epoch)
 )
 
 // String names the message kind.
 func (k Kind) String() string {
 	names := [...]string{"Data", "EndPhase", "PhaseDone", "Continue", "StatsRequest", "StatsReply", "Stop",
-		"SnapRequest", "SnapMark", "SnapDone", "Resume"}
+		"SnapRequest", "SnapMark", "SnapDone", "Resume", "Park", "ParkMark", "ParkDone", "EpochStart"}
 	if int(k) < len(names) {
 		return names[k]
 	}

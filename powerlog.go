@@ -195,6 +195,43 @@ func RunUnchecked(plan *Plan, opts Options) (*Result, error) {
 	return runtime.Run(plan, opts)
 }
 
+// Session is a long-lived engine instance: the fleet stays warm between
+// fixpoints, and base-fact mutations re-converge incrementally instead
+// of re-running from scratch.
+type Session = runtime.Session
+
+// Mutation is a batch of base-fact edge inserts and deletes for
+// Session.Apply. A delete removes every parallel edge with the named
+// endpoints; deleting an absent edge is a no-op.
+type Mutation = runtime.Mutation
+
+// Open starts a long-lived session: it computes the plan's initial
+// fixpoint and parks the worker fleet, ready for incremental
+// re-fixpoints under Session.Apply:
+//
+//	sess, err := powerlog.Open(plan, powerlog.Options{Mode: powerlog.ModeSyncAsync})
+//	res := sess.Result() // the initial fixpoint
+//	res, err = sess.Apply(powerlog.Mutation{Inserts: []powerlog.Edge{{Src: 3, Dst: 7, W: 1}}})
+//	res, err = sess.Apply(powerlog.Mutation{Deletes: []powerlog.Edge{{Src: 0, Dst: 4}}})
+//	defer sess.Close()
+//
+// Like Run, programs that fail the MRA check are forced onto naive
+// synchronous evaluation — which cannot re-fixpoint incrementally, so
+// Apply is rejected for them (the session is still useful for Result).
+func Open(plan *Plan, opts Options) (*Session, error) {
+	rep := checker.Check(plan.Info)
+	if !rep.Satisfied && opts.Mode != ModeNaiveSync {
+		opts.Mode = ModeNaiveSync
+	}
+	return runtime.Open(plan, opts)
+}
+
+// OpenUnchecked starts a session without consulting the condition
+// checker (see RunUnchecked).
+func OpenUnchecked(plan *Plan, opts Options) (*Session, error) {
+	return runtime.Open(plan, opts)
+}
+
 // CheckSource is a convenience: parse, analyse, and condition-check in
 // one call, returning the Table-1-style report.
 func CheckSource(source string) (*CheckReport, error) {
