@@ -2,15 +2,17 @@
 # (.github/workflows/ci.yml) and the ROADMAP's verify step run. The race
 # pass covers the packages on the zero-allocation message path (combiner
 # → pooled batches → codec → MonoTable fold) plus checkpointing, fault
-# injection, and the lock-free metrics core, where a recycle-contract
-# violation would surface as a data race; -cpu 1,4 runs each test at
+# injection, the lock-free metrics core, and the PR 7 incremental-EDB
+# and generator packages (edb, gen), where a recycle-contract violation
+# would surface as a data race; -cpu 1,4 runs each test at
 # both parallelism levels so the intra-worker subshard scan pool
 # (DESIGN.md §9) is raced with real preemption even on small CI boxes;
 # it runs -short, which trims
 # the chaos matrix (internal/runtime/chaos_test.go) to its
 # representative algorithm subset — the full matrix runs race-free under
 # `make test`. `make lint` runs the repo-local static analyzers of
-# internal/lint (cmd/plvet): recycle, atomicmix, lockblock, shadow — the
+# internal/lint (cmd/plvet): recycle, atomicmix, lockblock, shadow,
+# kindswitch, errcmp, metricname, condwait — the
 # same checks also run under `go test ./internal/lint`, so plain
 # `go test ./...` enforces them too. `make metrics-smoke` exercises the
 # observability layer end-to-end: the policymetrics experiment on the
@@ -35,7 +37,7 @@ test:
 	go test ./...
 
 race:
-	go test -race -short -cpu 1,4 ./internal/runtime/... ./internal/transport/... ./internal/monotable/... ./internal/ckpt/... ./internal/fault/... ./internal/metrics/...
+	go test -race -short -cpu 1,4 ./internal/runtime/... ./internal/transport/... ./internal/monotable/... ./internal/ckpt/... ./internal/fault/... ./internal/metrics/... ./internal/edb/... ./internal/gen/...
 
 metrics-smoke:
 	go run ./cmd/plbench -exp policymetrics -smoke -maxwall 60s

@@ -1,6 +1,7 @@
 package edb
 
 import (
+	"errors"
 	"sort"
 	"testing"
 
@@ -248,7 +249,7 @@ func TestEvalEmitError(t *testing.T) {
 		calls++
 		return errStop
 	})
-	if err != errStop {
+	if !errors.Is(err, errStop) {
 		t.Errorf("emit error should propagate, got %v", err)
 	}
 	if calls != 1 {

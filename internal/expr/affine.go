@@ -145,6 +145,9 @@ func Simplify(e *Expr) *Expr {
 		if args[0].Kind == KNeg {
 			return args[0].Args[0]
 		}
+	default:
+		// KNum, KVar, KCall: leaves (or opaque calls) have no algebraic
+		// rewrite; fall through to the rebuilt node.
 	}
 	return s
 }

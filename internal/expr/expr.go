@@ -272,6 +272,8 @@ func (e *Expr) write(b *strings.Builder, parent int) {
 		prec = 2
 	case KNeg:
 		prec = 3
+	default:
+		// KNum, KVar, KCall render atomically and never need parens.
 	}
 	open := prec != 0 && prec < parent
 	if open {

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// errcmpAnalyzer enforces sentinel-error discipline: a value of type
+// error is matched with errors.Is, and a typed error (ConfigError,
+// MissingShardError, ...) is extracted with errors.As — never with
+// ==/!= against a sentinel or a bare type assertion. The transport and
+// fault layers wrap errors on the way up (the injector decorates
+// conns, the TCP retry path wraps ErrPeerUnavailable with peer
+// context, Run wraps ErrWorkerLost with the round), so an identity
+// comparison that happens to work today silently stops matching the
+// first time a decorator adds a layer of %w — the failure is then
+// *unsurfaced*, not crashed, which is exactly the drift this suite
+// exists to prevent.
+//
+// Comparisons against nil stay legal (that is how Go spells "no
+// error"), as do comparisons where neither operand is error-typed.
+// Type switches over an error value and assertions to another
+// interface are flagged the same as concrete assertions: errors.As
+// handles every case and sees through wrapping.
+type errcmpAnalyzer struct{}
+
+func (errcmpAnalyzer) Name() string { return "errcmp" }
+func (errcmpAnalyzer) Doc() string {
+	return "errors are matched with errors.Is/errors.As, not ==/!= or type assertions"
+}
+
+func (errcmpAnalyzer) Check(pkg *Package, r *Reporter) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNilExpr(pkg, n.X) || isNilExpr(pkg, n.Y) {
+					return true
+				}
+				if isErrorType(pkg, n.X) || isErrorType(pkg, n.Y) {
+					r.Reportf(n.OpPos, "error compared with %s; use errors.Is (identity breaks under %%w wrapping)", n.Op)
+				}
+			case *ast.TypeAssertExpr:
+				// n.Type == nil is the x.(type) of a type switch; the
+				// TypeSwitchStmt case below reports it once.
+				if n.Type != nil && isErrorType(pkg, n.X) {
+					r.Reportf(n.Pos(), "type assertion on error value; use errors.As (assertion breaks under %%w wrapping)")
+				}
+			case *ast.TypeSwitchStmt:
+				if x := typeSwitchOperand(n); x != nil && isErrorType(pkg, x) {
+					r.Reportf(n.Pos(), "type switch on error value; use errors.As (assertion breaks under %%w wrapping)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// typeSwitchOperand extracts the x of `switch x.(type)` or
+// `switch v := x.(type)`.
+func typeSwitchOperand(sw *ast.TypeSwitchStmt) ast.Expr {
+	var assertExpr ast.Expr
+	switch s := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		assertExpr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			assertExpr = s.Rhs[0]
+		}
+	}
+	ta, ok := ast.Unparen(assertExpr).(*ast.TypeAssertExpr)
+	if !ok {
+		return nil
+	}
+	return ta.X
+}
+
+// isNilExpr reports whether e is the untyped nil.
+func isNilExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	_, isNil := tv.Type.(*types.Basic)
+	return isNil && tv.IsNil()
+}
+
+// isErrorType reports whether e's static type is an interface that
+// implements error (the error interface itself, or a superset like
+// net.Error). Concrete struct/pointer types are deliberately not
+// matched on the comparison side: comparing two *ConfigError pointers
+// is pointer identity, which == states honestly.
+func isErrorType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	iface, ok := tv.Type.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(tv.Type, errType) || types.Identical(iface, errType)
+}

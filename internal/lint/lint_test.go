@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -29,8 +30,14 @@ func TestModuleClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range Run(mod, Analyzers()) {
+	res := Run(mod, Analyzers())
+	for _, f := range res.Findings {
 		t.Errorf("%s", f)
+	}
+	// Suppressions in the real tree must be rare and deliberate; surface
+	// them in test output so a new one is reviewed.
+	for _, f := range res.Suppressed {
+		t.Logf("suppressed: %s", f)
 	}
 }
 
@@ -63,22 +70,122 @@ func TestGoldenFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			matched := map[*want]bool{}
-			for _, f := range findings {
-				w := matchWant(wants, f)
-				if w == nil {
-					t.Errorf("unexpected finding: %s", f)
-					continue
-				}
-				matched[w] = true
+			unexpected, missed := crossMatch(wants, findings)
+			for _, f := range unexpected {
+				t.Errorf("unexpected finding: %s", f)
 			}
-			for _, w := range wants {
-				if !matched[w] {
-					t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
-				}
+			for _, w := range missed {
+				t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
 			}
 		})
 	}
+}
+
+// TestFixtureCrossMatch pins the harness itself: a finding with no
+// want-annotation and a want-annotation with no finding must both be
+// reported, so a fixture cannot silently rot in either direction.
+func TestFixtureCrossMatch(t *testing.T) {
+	re := regexp.MustCompile("bad thing")
+	wants := []*want{
+		{file: "f.go", line: 3, re: re},
+		{file: "f.go", line: 9, re: re},
+	}
+	findings := []Finding{
+		{Analyzer: "x", Pos: token.Position{Filename: "f.go", Line: 3}, Message: "bad thing happened"},
+		{Analyzer: "x", Pos: token.Position{Filename: "f.go", Line: 5}, Message: "bad thing happened"},
+	}
+	unexpected, missed := crossMatch(wants, findings)
+	if len(unexpected) != 1 || unexpected[0].Pos.Line != 5 {
+		t.Errorf("finding without annotation not reported: %v", unexpected)
+	}
+	if len(missed) != 1 || missed[0].line != 9 {
+		t.Errorf("annotation without finding not reported: %v", missed)
+	}
+	// A message that does not match the pattern fails even on the right
+	// line.
+	off := []Finding{{Analyzer: "x", Pos: token.Position{Filename: "f.go", Line: 3}, Message: "unrelated"}}
+	if unexpected, _ := crossMatch(wants, off); len(unexpected) != 1 {
+		t.Errorf("non-matching message on annotated line should be unexpected, got %v", unexpected)
+	}
+}
+
+// TestSuppression runs the full driver over the suppression fixture: a
+// correctly scoped //plvet:ignore moves the finding to Suppressed (same
+// line and line-above forms), a directive naming the wrong analyzer
+// suppresses nothing, and malformed/unknown directives are findings
+// themselves.
+func TestSuppression(t *testing.T) {
+	mod, err := moduleOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "suppress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := mod.CheckExtra(dir, "plvet/fixture/suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A synthetic one-package module reuses the real loader's fset and
+	// type info while scoping Run (and its directive scan) to the
+	// fixture.
+	fixMod := &Module{Root: dir, Path: mod.Path, Fset: mod.Fset, Pkgs: []*Package{pkg}}
+	res := Run(fixMod, []Analyzer{errcmpAnalyzer{}})
+
+	byLine := func(fs []Finding, analyzer string) map[int]string {
+		m := map[int]string{}
+		for _, f := range fs {
+			if f.Analyzer == analyzer {
+				m[f.Pos.Line] = f.Message
+			}
+		}
+		return m
+	}
+	supp := byLine(res.Suppressed, "errcmp")
+	if len(supp) != 2 {
+		t.Errorf("want 2 suppressed errcmp findings (same-line and line-above), got %d: %v", len(supp), res.Suppressed)
+	}
+	kept := byLine(res.Findings, "errcmp")
+	if len(kept) != 3 {
+		t.Errorf("want 3 surviving errcmp findings (wrong-analyzer, malformed, unknown-name directives), got %d: %v", len(kept), res.Findings)
+	}
+	plvet := byLine(res.Findings, "plvet")
+	var sawMalformed, sawUnknown bool
+	for _, msg := range plvet {
+		if strings.Contains(msg, "malformed ignore directive") {
+			sawMalformed = true
+		}
+		if strings.Contains(msg, "unknown analyzer") {
+			sawUnknown = true
+		}
+	}
+	if !sawMalformed {
+		t.Error("reason-less directive not reported as malformed")
+	}
+	if !sawUnknown {
+		t.Error("directive naming unknown analyzer not reported")
+	}
+}
+
+// crossMatch pairs findings with want-annotations and returns the
+// mismatches in both directions.
+func crossMatch(wants []*want, findings []Finding) (unexpected []Finding, missed []*want) {
+	matched := map[*want]bool{}
+	for _, f := range findings {
+		w := matchWant(wants, f)
+		if w == nil {
+			unexpected = append(unexpected, f)
+			continue
+		}
+		matched[w] = true
+	}
+	for _, w := range wants {
+		if !matched[w] {
+			missed = append(missed, w)
+		}
+	}
+	return unexpected, missed
 }
 
 func TestByNameRejectsUnknown(t *testing.T) {

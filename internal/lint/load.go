@@ -45,6 +45,7 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+	Mod        *Module // owning module (scopes module-declared types)
 }
 
 // pkgDir is one directory's parsed syntax before type checking.
@@ -134,7 +135,7 @@ func LoadModule(root string) (*Module, error) {
 		if len(d.inTest) == 0 {
 			mod.Pkgs = append(mod.Pkgs, &Package{
 				ImportPath: d.importPath, Dir: d.dir, Fset: fset,
-				Files: d.base, Types: pkg, Info: info,
+				Files: d.base, Types: pkg, Info: info, Mod: mod,
 			})
 		}
 	}
@@ -152,7 +153,7 @@ func LoadModule(root string) (*Module, error) {
 			}
 			mod.Pkgs = append(mod.Pkgs, &Package{
 				ImportPath: d.importPath, Dir: d.dir, Fset: fset,
-				Files: files, Types: pkg, Info: info,
+				Files: files, Types: pkg, Info: info, Mod: mod,
 			})
 		}
 		if len(d.extTest) > 0 {
@@ -163,7 +164,7 @@ func LoadModule(root string) (*Module, error) {
 			}
 			mod.Pkgs = append(mod.Pkgs, &Package{
 				ImportPath: path, Dir: d.dir, Fset: fset,
-				Files: d.extTest, Types: pkg, Info: info,
+				Files: d.extTest, Types: pkg, Info: info, Mod: mod,
 			})
 		}
 	}
@@ -185,7 +186,7 @@ func (m *Module) CheckExtra(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Package{ImportPath: importPath, Dir: dir, Fset: m.Fset, Files: files, Types: pkg, Info: info}, nil
+	return &Package{ImportPath: importPath, Dir: dir, Fset: m.Fset, Files: files, Types: pkg, Info: info, Mod: m}, nil
 }
 
 // check type-checks one file set as import path `path`.
@@ -312,6 +313,33 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// FuncKey is a stable identity for a function or method across
+// analysis units: a package's plain unit and its test variant are
+// type-checked separately, so the same source function yields two
+// distinct *types.Func objects — but the (package path, receiver,
+// name) triple is shared. The interprocedural recycle summaries
+// (recycle.go) are keyed on it so summaries computed while walking one
+// unit resolve call sites seen in another.
+func FuncKey(fn *types.Func) string {
+	pkg := ""
+	if p := fn.Pkg(); p != nil {
+		// External test packages ("p_test") see the same source
+		// functions as the plain unit when dot-importing; normalise.
+		pkg = strings.TrimSuffix(p.Path(), "_test")
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			recv = named.Obj().Name() + "."
+		}
+	}
+	return pkg + "." + recv + fn.Name()
 }
 
 // topoSort orders packages so every module-internal import precedes its

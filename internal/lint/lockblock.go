@@ -25,11 +25,24 @@ import (
 // Function literals start with an empty held set — they run on their
 // own goroutine or at defer time, not under the caller's locks at this
 // textual point.
+//
+// Two checks ride on the same held set:
+//
+//   - Re-acquiring a key already held (mu.Lock under mu.Lock, or any
+//     RLock/Lock mix on one key) is a self-deadlock — sync mutexes are
+//     not reentrant, and recursive RLock deadlocks the moment a writer
+//     queues between the two acquisitions.
+//   - sync.Cond Wait (the subshard pool's idle-parking path) must run
+//     with exactly one lock held: zero means its Locker is unlocked
+//     and Wait panics; more than one means Wait releases only its own
+//     locker and sleeps with the rest held — a blocking op under a
+//     lock, same as a channel receive. Signal and Broadcast never
+//     block and are never flagged.
 type lockblockAnalyzer struct{}
 
 func (lockblockAnalyzer) Name() string { return "lockblock" }
 func (lockblockAnalyzer) Doc() string {
-	return "no channel operation, transport Send, or time.Sleep while a sync mutex is held"
+	return "no blocking op or lock re-acquisition while a sync mutex is held; Cond.Wait holds exactly its locker"
 }
 
 // heldLock is one mutex currently held, keyed by the receiver
@@ -231,6 +244,8 @@ func (c *lockblockChecker) scanExpr(e ast.Expr, held []heldLock) {
 				(fn.Name() == "Send" || fn.Name() == "TrySend") &&
 				fn.Type().(*types.Signature).Recv() != nil:
 				c.flagIfHeld(n.Pos(), held, "transport "+fn.Name())
+			case isCondMethod(c.pkg, n, "Wait"):
+				c.checkCondWait(n, held)
 			}
 		}
 		return true
@@ -262,6 +277,17 @@ func (c *lockblockChecker) lockOps(e ast.Expr, held []heldLock) []heldLock {
 	}
 	switch name {
 	case "Lock", "RLock":
+		// Re-acquiring a held key is a self-deadlock: sync mutexes are
+		// not reentrant, and recursive RLock deadlocks as soon as a
+		// writer queues between the acquisitions (sync's documented
+		// prohibition).
+		for _, h := range held {
+			if h.key == key {
+				c.r.Reportf(call.Pos(), "%s of %s while already held (locked at line %d); sync locks are not reentrant",
+					name, key, c.pkg.Fset.Position(h.pos).Line)
+				break
+			}
+		}
 		return append(held, heldLock{key: key, read: name == "RLock", pos: call.Pos()})
 	case "Unlock", "RUnlock":
 		for i := len(held) - 1; i >= 0; i-- {
@@ -307,6 +333,23 @@ func (c *lockblockChecker) mutexCall(call *ast.CallExpr) (name, key string, ok b
 		return "", "", false
 	}
 	return fn.Name(), types.ExprString(sel.X), true
+}
+
+// checkCondWait enforces the Cond.Wait held-set contract: Wait
+// atomically unlocks its Locker, sleeps, and re-locks — so exactly one
+// lock (assumed to be that Locker) must be held at the call. Zero held
+// means the Locker is unlocked and Wait panics; two or more means the
+// extra locks stay held across the sleep, which is the same progress
+// hazard as any other blocking op under a lock.
+func (c *lockblockChecker) checkCondWait(call *ast.CallExpr, held []heldLock) {
+	switch {
+	case len(held) == 0:
+		c.r.Reportf(call.Pos(), "sync.Cond Wait with no lock held; lock the Cond's Locker first (Wait unlocks it)")
+	case len(held) > 1:
+		h := held[0]
+		c.r.Reportf(call.Pos(), "sync.Cond Wait while %d locks are held (%s locked at line %d); Wait releases only the Cond's own locker",
+			len(held), h.key, c.pkg.Fset.Position(h.pos).Line)
+	}
 }
 
 // flagIfHeld reports a blocking operation when any mutex is held.

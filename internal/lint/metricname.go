@@ -1,0 +1,386 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// metricnameAnalyzer cross-checks every metric-name string in the
+// module against the manifest (metrics.WellKnownNames) and against
+// itself. The metrics registry is string-keyed and create-on-first-use,
+// so the type checker is no help: a typo on the writer side registers a
+// fresh instrument nobody reads, a typo on the reader side
+// (policymetrics tables, snapshot assertions) reads a permanent zero,
+// and a name registered from two different sites double-counts into one
+// instrument. All three bugs are silent at runtime; this analyzer makes
+// them findings.
+//
+// Checked, module-wide (the analyzer is a ModuleAnalyzer):
+//
+//   - every registration in non-test code uses a manifest name
+//     (Registry.Counter/Gauge/Histogram with a literal, or a
+//     fmt.Sprintf whose format is a manifest pattern);
+//   - every manifest entry has at least one registration site
+//     (no dead inventory);
+//   - a fixed name is registered from at most one non-test site
+//     (one-registration-per-name; a loop over destinations at one site
+//     is still one site);
+//   - every reader-side name — Snapshot.Counter("..."), indexing
+//     Snapshot.Counters/Gauges/Histograms with a literal, or a
+//     MergeHistograms prefix — resolves to some registered name or
+//     pattern (writers in test files count: tests may register
+//     scratch instruments and read them back).
+//
+// Names that reach the registry through a variable are outside the
+// analyzer's reach and are left alone — the repo idiom (pre-resolved
+// handles, names only at registration) keeps those rare.
+type metricnameAnalyzer struct{}
+
+func (metricnameAnalyzer) Name() string { return "metricname" }
+func (metricnameAnalyzer) Doc() string {
+	return "metric names are manifest-listed, registered once, and every read has a writer"
+}
+
+const metricsPath = "powerlog/internal/metrics"
+
+// metricSite is one name occurrence (registration or read).
+type metricSite struct {
+	name    string // literal name, or Sprintf format for dynamic families
+	dynamic bool   // name is a format pattern
+	test    bool   // the site is in a _test.go file
+	pos     token.Pos
+	pkg     *Package
+}
+
+func (metricnameAnalyzer) Check(pkg *Package, r *Reporter) {
+	metricnameAnalyzer{}.CheckModule([]*Package{pkg}, r)
+}
+
+func (metricnameAnalyzer) CheckModule(pkgs []*Package, r *Reporter) {
+	var (
+		manifest  []metricSite // entries of WellKnownNames
+		writers   []metricSite
+		readers   []metricSite
+		prefixes  []metricSite // MergeHistograms prefix reads
+		dynWrites []metricSite
+	)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			test := strings.HasSuffix(pkg.Fset.Position(file.Package).Filename, "_test.go")
+			collectManifest(pkg, file, &manifest)
+			collectSites(pkg, file, test, &writers, &dynWrites, &readers, &prefixes)
+		}
+	}
+
+	// Pattern matchers for dynamic families, from manifest entries and
+	// Sprintf registration sites alike.
+	type pattern struct {
+		site metricSite
+		re   *regexp.Regexp
+		lit  string // literal prefix before the first verb
+	}
+	var patterns []pattern
+	addPattern := func(s metricSite) {
+		re, lit := formatPattern(s.name)
+		if re != nil {
+			patterns = append(patterns, pattern{site: s, re: re, lit: lit})
+		}
+	}
+	for _, m := range manifest {
+		if strings.Contains(m.name, "%") {
+			addPattern(m)
+		}
+	}
+	for _, w := range dynWrites {
+		addPattern(w)
+	}
+
+	manifestHas := func(name string, dynamic bool) bool {
+		for _, m := range manifest {
+			if m.name == name {
+				return true
+			}
+		}
+		if !dynamic {
+			for _, p := range patterns {
+				if strings.Contains(p.site.name, "%") && p.re.MatchString(name) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// 1. Non-test registrations must be manifest-listed — but only when
+	// a manifest is in sight (the module has one; a fixture package
+	// declares its own; a lone package without one skips the check).
+	haveManifest := len(manifest) > 0
+	if haveManifest {
+		for _, w := range writers {
+			if !w.test && !manifestHas(w.name, false) {
+				r.Reportf(w.pos, "metric %q is not in the metrics.WellKnownNames manifest", w.name)
+			}
+		}
+		for _, w := range dynWrites {
+			if !w.test && !manifestHas(w.name, true) {
+				r.Reportf(w.pos, "dynamic metric family %q is not in the metrics.WellKnownNames manifest", w.name)
+			}
+		}
+	}
+
+	// 2. Every manifest entry needs a registration site (checked only
+	// when the module's writers are actually in the analyzed set — a
+	// single-package run outside internal/metrics would see none).
+	if len(writers)+len(dynWrites) > 0 {
+		for _, m := range manifest {
+			found := false
+			for _, w := range writers {
+				if w.name == m.name {
+					found = true
+					break
+				}
+			}
+			for _, w := range dynWrites {
+				if w.name == m.name {
+					found = true
+					break
+				}
+			}
+			if !found && strings.Contains(m.name, "%") {
+				// A dynamic manifest entry may also be satisfied by fixed
+				// registrations matching the pattern.
+				if re, _ := formatPattern(m.name); re != nil {
+					for _, w := range writers {
+						if re.MatchString(w.name) {
+							found = true
+							break
+						}
+					}
+				}
+			}
+			if !found {
+				r.Reportf(m.pos, "manifest metric %q has no registration site", m.name)
+			}
+		}
+	}
+
+	// 3. One registration site per fixed name (non-test code).
+	first := map[string]metricSite{}
+	for _, w := range writers {
+		if w.test {
+			continue
+		}
+		prev, seen := first[w.name]
+		if !seen {
+			first[w.name] = w
+			continue
+		}
+		prevPos := prev.pkg.Fset.Position(prev.pos)
+		r.Reportf(w.pos, "metric %q is also registered at %s:%d; one name, one registration site",
+			w.name, prevPos.Filename, prevPos.Line)
+	}
+
+	// 4. Every reader-side name resolves to a writer (test writers
+	// included — a test reading its own scratch registry is fine).
+	writerHas := func(name string) bool {
+		for _, w := range writers {
+			if w.name == name {
+				return true
+			}
+		}
+		for _, p := range patterns {
+			if p.re.MatchString(name) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, rd := range readers {
+		if !writerHas(rd.name) {
+			r.Reportf(rd.pos, "metric %q is read but never registered (typo'd names read zero)", rd.name)
+		}
+	}
+	for _, pf := range prefixes {
+		ok := false
+		for _, w := range writers {
+			if strings.HasPrefix(w.name, pf.name) {
+				ok = true
+				break
+			}
+		}
+		for _, p := range patterns {
+			if strings.HasPrefix(p.lit, pf.name) || strings.HasPrefix(pf.name, p.lit) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			r.Reportf(pf.pos, "histogram prefix %q matches no registered metric", pf.name)
+		}
+	}
+}
+
+// collectManifest harvests WellKnownNames entries: a package-level
+// `var WellKnownNames = []string{...}` in any analyzed package (the
+// real one lives in internal/metrics; fixtures declare their own).
+func collectManifest(pkg *Package, file *ast.File, out *[]metricSite) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if name.Name != "WellKnownNames" || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, el := range lit.Elts {
+					if s, ok := stringLit(pkg, el); ok {
+						*out = append(*out, metricSite{name: s, pos: el.Pos(), pkg: pkg})
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectSites harvests registration and read sites from one file.
+func collectSites(pkg *Package, file *ast.File, test bool, writers, dynWrites, readers, prefixes *[]metricSite) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(pkg, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != metricsPath || len(n.Args) != 1 {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				return true
+			}
+			recv := sig.Recv().Type()
+			isRegistry := isNamedOrPtr(recv, metricsPath, "Registry")
+			isSnapshot := isNamedOrPtr(recv, metricsPath, "Snapshot")
+			switch {
+			case isRegistry && (fn.Name() == "Counter" || fn.Name() == "Gauge" || fn.Name() == "Histogram"):
+				arg := ast.Unparen(n.Args[0])
+				if s, ok := stringLit(pkg, arg); ok {
+					*writers = append(*writers, metricSite{name: s, test: test, pos: arg.Pos(), pkg: pkg})
+				} else if format, ok := sprintfFormat(pkg, arg); ok {
+					*dynWrites = append(*dynWrites, metricSite{name: format, dynamic: true, test: test, pos: arg.Pos(), pkg: pkg})
+				}
+			case isSnapshot && fn.Name() == "Counter":
+				if s, ok := stringLit(pkg, n.Args[0]); ok {
+					*readers = append(*readers, metricSite{name: s, test: test, pos: n.Args[0].Pos(), pkg: pkg})
+				}
+			case isSnapshot && fn.Name() == "MergeHistograms":
+				if s, ok := stringLit(pkg, n.Args[0]); ok {
+					*prefixes = append(*prefixes, metricSite{name: s, test: test, pos: n.Args[0].Pos(), pkg: pkg})
+				}
+			}
+		case *ast.IndexExpr:
+			// s.Counters["name"] / s.Gauges[...] / s.Histograms[...] on a
+			// metrics.Snapshot — but only *outside* package metrics itself,
+			// whose own methods legitimately iterate and index the maps.
+			if pkg.ImportPath == metricsPath {
+				return true
+			}
+			sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := sel.Sel.Name
+			if field != "Counters" && field != "Gauges" && field != "Histograms" {
+				return true
+			}
+			tv, ok := pkg.Info.Types[sel.X]
+			if !ok || !isNamedOrPtr(tv.Type, metricsPath, "Snapshot") {
+				return true
+			}
+			if s, ok := stringLit(pkg, n.Index); ok {
+				*readers = append(*readers, metricSite{name: s, test: test, pos: n.Index.Pos(), pkg: pkg})
+			}
+		}
+		return true
+	})
+}
+
+// sprintfFormat matches fmt.Sprintf("literal-format", ...) and returns
+// the format string.
+func sprintfFormat(pkg *Package, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Sprintf" {
+		return "", false
+	}
+	return stringLit(pkg, call.Args[0])
+}
+
+// stringLit returns e's constant string value.
+func stringLit(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isNamedOrPtr reports whether t (or its pointee) is the named type
+// path.name.
+func isNamedOrPtr(t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isNamed(t, path, name)
+}
+
+// verbRE matches one fmt verb (with flags/width) in a format string.
+var verbRE = regexp.MustCompile(`%[-+ #0-9.]*[a-zA-Z]`)
+
+// formatPattern compiles a Sprintf format into a full-match regexp
+// (each verb becomes a non-empty wildcard) plus its literal prefix.
+func formatPattern(format string) (*regexp.Regexp, string) {
+	if !strings.Contains(format, "%") {
+		return nil, format
+	}
+	lit := format
+	if i := strings.Index(format, "%"); i >= 0 {
+		lit = format[:i]
+	}
+	var b strings.Builder
+	b.WriteString("^")
+	rest := format
+	for {
+		loc := verbRE.FindStringIndex(rest)
+		if loc == nil {
+			b.WriteString(regexp.QuoteMeta(rest))
+			break
+		}
+		b.WriteString(regexp.QuoteMeta(rest[:loc[0]]))
+		b.WriteString(".+")
+		rest = rest[loc[1]:]
+	}
+	b.WriteString("$")
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		return nil, lit
+	}
+	return re, lit
+}

@@ -15,36 +15,151 @@ import (
 // a use-after-recycle — the bug class the race pass only catches when
 // the pool happens to reuse the batch at the wrong moment.
 //
-// The check is an intra-function, branch-sensitive textual-order
-// dataflow: a kill in one branch does not poison sibling branches, a
-// branch that terminates (return/break/continue/panic) does not leak
-// its kills past the construct, and reassigning the variable (e.g. from
+// The check is a branch-sensitive textual-order dataflow: a kill in
+// one branch does not poison sibling branches, a branch that
+// terminates (return/break/continue/panic) does not leak its kills
+// past the construct, and reassigning the variable (e.g. from
 // GetBatch) revives it. Closures are analyzed as separate functions.
+//
+// The analysis is interprocedural via bottom-up function summaries:
+// before the reporting pass, every function in the analyzed set is
+// summarized as "which of its batch-typed parameters does it kill
+// (recycle with PutBatch, or hand off to Send)?" and summaries are
+// iterated to a fixpoint so helpers-calling-helpers propagate (the
+// iteration replaces an explicit call-graph topological order and is
+// robust to recursion). The reporting pass then treats a call to a
+// summarized killer exactly like a direct PutBatch of the argument —
+// so `flushTo(kvs); kvs[0] = ...` is caught even though the PutBatch
+// lives two helpers down. A summary kill is may-kill (any
+// fall-through path), matching the intra-function merge semantics.
 type recycleAnalyzer struct{}
 
 func (recycleAnalyzer) Name() string { return "recycle" }
 func (recycleAnalyzer) Doc() string {
-	return "no use of a transport.KV batch after PutBatch or after handing it to Send"
+	return "no use of a transport.KV batch after PutBatch or after handing it to Send (through helpers too)"
 }
 
 const transportPath = "powerlog/internal/transport"
 
 func (recycleAnalyzer) Check(pkg *Package, r *Reporter) {
-	for _, file := range pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.FuncDecl:
-				if n.Body != nil {
-					newRecycleChecker(pkg, r).stmts(n.Body.List)
+	recycleAnalyzer{}.CheckModule([]*Package{pkg}, r)
+}
+
+func (recycleAnalyzer) CheckModule(pkgs []*Package, r *Reporter) {
+	sums := computeRecycleSummaries(pkgs)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						c := newRecycleChecker(pkg, r)
+						c.summaries = sums
+						c.stmts(n.Body.List)
+					}
+					return false
+				case *ast.FuncLit: // package-level var initializers
+					c := newRecycleChecker(pkg, r)
+					c.summaries = sums
+					c.stmts(n.Body.List)
+					return false
 				}
-				return false
-			case *ast.FuncLit: // package-level var initializers
-				newRecycleChecker(pkg, r).stmts(n.Body.List)
-				return false
-			}
-			return true
-		})
+				return true
+			})
+		}
 	}
+}
+
+// recycleSummaries maps FuncKey → parameter index → the verb that
+// kills the batch passed there. A function absent from the map (or a
+// parameter absent from its entry) borrows its arguments.
+type recycleSummaries map[string]map[int]string
+
+// computeRecycleSummaries runs the dataflow silently over every
+// function declaration and records which batch parameters are dead on
+// exit, iterating until no summary changes: pass one catches direct
+// PutBatch/Send kills, pass two catches helpers calling those, and so
+// on. Kills only accumulate, so the loop converges.
+func computeRecycleSummaries(pkgs []*Package) recycleSummaries {
+	type fnDecl struct {
+		pkg  *Package
+		decl *ast.FuncDecl
+		key  string
+	}
+	var fns []fnDecl
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := FuncKey(fn)
+				if seen[key] {
+					continue // a package and its test variant share base files
+				}
+				seen[key] = true
+				fns = append(fns, fnDecl{pkg: pkg, decl: fd, key: key})
+			}
+		}
+	}
+	sums := recycleSummaries{}
+	for range fns { // the chain of helpers is at most this deep
+		changed := false
+		for _, f := range fns {
+			kills := summarizeFunc(f.pkg, f.decl, sums)
+			if len(kills) != len(sums[f.key]) {
+				if kills == nil {
+					delete(sums, f.key)
+				} else {
+					sums[f.key] = kills
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return sums
+}
+
+// summarizeFunc reports which of decl's parameters hold a dead batch
+// after the body runs (under the current summaries).
+func summarizeFunc(pkg *Package, decl *ast.FuncDecl, sums recycleSummaries) map[int]string {
+	c := newRecycleChecker(pkg, nil)
+	c.silent = true
+	c.summaries = sums
+	c.stmts(decl.Body.List)
+	var kills map[int]string
+	idx := 0
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				ks, dead := c.dead[batchKey{obj, ""}]
+				if !dead {
+					ks, dead = c.dead[batchKey{obj, "KVs"}]
+				}
+				if dead {
+					if kills == nil {
+						kills = map[int]string{}
+					}
+					kills[idx] = ks.verb
+				}
+			}
+			idx++
+		}
+	}
+	return kills
 }
 
 // batchKey identifies a tracked batch: a []transport.KV variable
@@ -61,10 +176,12 @@ type killSite struct {
 }
 
 type recycleChecker struct {
-	pkg    *Package
-	r      *Reporter
-	dead   map[batchKey]killSite
-	noKill bool // inside defer: args are evaluated now, but the call runs later
+	pkg       *Package
+	r         *Reporter
+	dead      map[batchKey]killSite
+	noKill    bool // inside defer: args are evaluated now, but the call runs later
+	silent    bool // summary pass: track kills, report nothing
+	summaries recycleSummaries
 }
 
 func newRecycleChecker(pkg *Package, r *Reporter) *recycleChecker {
@@ -306,7 +423,9 @@ func (c *recycleChecker) expr(e ast.Expr) {
 	case *ast.FuncLit:
 		// A closure gets its own dataflow; cross-closure tracking would
 		// need escape analysis the contract does not require.
-		newRecycleChecker(c.pkg, c.r).stmts(e.Body.List)
+		sub := newRecycleChecker(c.pkg, c.r)
+		sub.silent, sub.summaries = c.silent, c.summaries
+		sub.stmts(e.Body.List)
 	case *ast.UnaryExpr:
 		c.expr(e.X)
 	case *ast.BinaryExpr:
@@ -366,6 +485,42 @@ func (c *recycleChecker) call(call *ast.CallExpr) {
 			}
 		}
 	}
+	c.applySummary(fn, call)
+}
+
+// applySummary kills the arguments a summarized callee is known to
+// recycle or hand off, making the call site behave like the PutBatch
+// (or Send) buried inside the helper.
+func (c *recycleChecker) applySummary(fn *types.Func, call *ast.CallExpr) {
+	if fn == nil || c.summaries == nil {
+		return
+	}
+	kills, ok := c.summaries[FuncKey(fn)]
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	verb := "call to " + fn.Name()
+	for idx := range kills {
+		if idx >= len(call.Args) {
+			continue
+		}
+		// A variadic slot aggregates many arguments; killing through it
+		// would need per-element tracking, so it is left borrowed.
+		if sig.Variadic() && idx >= sig.Params().Len()-1 {
+			continue
+		}
+		arg := ast.Unparen(call.Args[idx])
+		c.killBatchExpr(arg, verb, call.Pos())
+		if id, isIdent := arg.(*ast.Ident); isIdent && c.isMessage(c.typeOf(id)) {
+			if obj := c.objOf(id); obj != nil {
+				c.dead[batchKey{obj, "KVs"}] = killSite{verb, call.Pos()}
+			}
+		}
+	}
 }
 
 // killBatchExpr marks the batch behind e (an identifier or a
@@ -421,6 +576,9 @@ func (c *recycleChecker) useIdent(id *ast.Ident) {
 }
 
 func (c *recycleChecker) report(pos token.Pos, name string, ks killSite) {
+	if c.silent {
+		return
+	}
 	c.r.Reportf(pos, "batch %s used after %s (recycled at line %d); copy KVs out before recycling",
 		name, ks.verb, c.pkg.Fset.Position(ks.pos).Line)
 }

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression directives. A finding can be silenced at its site with
+//
+//	//plvet:ignore <analyzer> <reason>
+//
+// either trailing the offending line or alone on the line directly
+// above it. The analyzer name scopes the directive — an ignore for a
+// different analyzer suppresses nothing — and the reason is mandatory:
+// a directive without one is itself reported, so every suppression in
+// the tree carries its justification. Suppressed findings are not
+// dropped; Run returns them separately and plvet prints a count, so a
+// suppression is always visible in the gate's output.
+
+const ignorePrefix = "//plvet:ignore"
+
+// ignoreDirective is one parsed //plvet:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	line     int // the comment's own line
+}
+
+// ignoreSet maps file → line → directives that apply to that line. A
+// directive alone on a line covers the following line as well (the
+// conventional comment-above-statement placement).
+type ignoreSet map[string]map[int][]ignoreDirective
+
+// collectIgnores scans every comment of every analysis unit for
+// directives. Malformed directives (missing analyzer name or reason,
+// or naming an unknown analyzer) are returned as findings under the
+// pseudo-analyzer "plvet" so a typo cannot silently disable a check.
+func collectIgnores(mod *Module) (ignoreSet, []Finding) {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name()] = true
+	}
+	set := ignoreSet{}
+	var bad []Finding
+	seenFile := map[string]bool{}
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			fname := mod.Fset.Position(file.Package).Filename
+			if seenFile[fname] {
+				continue // ext-test units share no files, but be safe
+			}
+			seenFile[fname] = true
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(c.Text)
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+					name, reason, _ := strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					switch {
+					case name == "" || reason == "":
+						bad = append(bad, Finding{
+							Analyzer: "plvet", Pos: pos,
+							Message: "malformed ignore directive: want //plvet:ignore <analyzer> <reason>",
+						})
+						continue
+					case !known[name]:
+						bad = append(bad, Finding{
+							Analyzer: "plvet", Pos: pos,
+							Message: "ignore directive names unknown analyzer " + name,
+						})
+						continue
+					}
+					if set[fname] == nil {
+						set[fname] = map[int][]ignoreDirective{}
+					}
+					d := ignoreDirective{analyzer: name, reason: reason, line: pos.Line}
+					set[fname][pos.Line] = append(set[fname][pos.Line], d)
+					if standsAlone(mod, file, c) {
+						set[fname][pos.Line+1] = append(set[fname][pos.Line+1], d)
+					}
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// standsAlone reports whether comment c is the only thing on its line,
+// i.e. no statement or declaration of the file starts or ends on it.
+func standsAlone(mod *Module, file *ast.File, c *ast.Comment) bool {
+	line := mod.Fset.Position(c.Pos()).Line
+	alone := true
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return false
+		}
+		start := mod.Fset.Position(n.Pos()).Line
+		end := mod.Fset.Position(n.End()).Line
+		if start > line || end < line {
+			return start <= line // prune subtrees wholly past the line
+		}
+		switch n.(type) {
+		case *ast.File, *ast.GenDecl, *ast.FuncDecl, *ast.BlockStmt:
+			// Spanning containers don't make the line occupied.
+			return true
+		}
+		alone = false
+		return false
+	})
+	return alone
+}
+
+// applyIgnores splits findings into kept and suppressed according to
+// the directive set: a finding is suppressed when a directive for its
+// analyzer covers its line.
+func applyIgnores(findings []Finding, set ignoreSet) Result {
+	var res Result
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range set[f.Pos.Filename][f.Pos.Line] {
+			if d.analyzer == f.Analyzer {
+				suppressed = true
+				break
+			}
+		}
+		if suppressed {
+			res.Suppressed = append(res.Suppressed, f)
+		} else {
+			res.Findings = append(res.Findings, f)
+		}
+	}
+	return res
+}

@@ -1,0 +1,95 @@
+// Package fixture seeds sync.Cond misuse for the condwait analyzer's
+// golden test: zero-value construction and Wait outside a loop.
+package fixture
+
+import "sync"
+
+// zero-value Cond: nil Locker panics on the first Wait.
+var globalCond sync.Cond // want "zero-value sync.Cond"
+
+type pool struct {
+	mu   sync.Mutex
+	cond sync.Cond // want "sync.Cond struct field by value"
+	work []int
+}
+
+type goodPool struct {
+	mu   sync.Mutex
+	cond *sync.Cond // pointer field set via NewCond: silent
+	work []int
+}
+
+func newGoodPool() *goodPool {
+	p := &goodPool{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func literalCond(mu *sync.Mutex) {
+	c := sync.Cond{L: mu} // want "sync.Cond composite literal"
+	c.Signal()
+}
+
+func localZero() {
+	var c sync.Cond // want "zero-value sync.Cond"
+	c.Broadcast()
+}
+
+func waitNoLoop(p *goodPool) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.work) == 0 {
+		p.cond.Wait() // want "Wait outside a for loop"
+	}
+	return p.work[0]
+}
+
+// waitInLoop is the canonical pattern: silent.
+func waitInLoop(p *goodPool) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.work) == 0 {
+		p.cond.Wait()
+	}
+	return p.work[0]
+}
+
+// waitInRange: a range loop counts as a loop.
+func waitInRange(p *goodPool, rounds []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for range rounds {
+		p.cond.Wait()
+	}
+}
+
+// closureResetsLoop: the enclosing for does not cover a closure body —
+// the closure runs whenever it is called, not per iteration.
+func closureResetsLoop(p *goodPool) {
+	for i := 0; i < 3; i++ {
+		f := func() {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.cond.Wait() // want "Wait outside a for loop"
+		}
+		f()
+	}
+}
+
+// signalAndBroadcast are unconstrained: silent.
+func signalAndBroadcast(p *goodPool) {
+	p.mu.Lock()
+	p.work = append(p.work, 1)
+	p.mu.Unlock()
+	p.cond.Signal()
+	p.cond.Broadcast()
+}
+
+// otherWait is not sync.Cond's Wait: silent.
+type waiter struct{}
+
+func (waiter) Wait() {}
+
+func otherWait(w waiter) {
+	w.Wait()
+}

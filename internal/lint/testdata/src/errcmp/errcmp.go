@@ -1,0 +1,98 @@
+// Package fixture seeds sentinel-comparison and error-assertion
+// violations for the errcmp analyzer's golden test.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+// codedError is a typed error in the ConfigError/MissingShardError
+// mold.
+type codedError struct{ code int }
+
+func (e *codedError) Error() string { return fmt.Sprintf("code %d", e.code) }
+
+func eqSentinel(err error) bool {
+	return err == errSentinel // want "error compared with ==; use errors.Is"
+}
+
+func neqSentinel(err error) bool {
+	return err != errSentinel // want "error compared with !=; use errors.Is"
+}
+
+func eqReversed(err error) bool {
+	return errSentinel == err // want "error compared with ==; use errors.Is"
+}
+
+func bareAssert(err error) int {
+	if ce, ok := err.(*codedError); ok { // want "type assertion on error value; use errors.As"
+		return ce.code
+	}
+	return 0
+}
+
+func assertExpr(err error) int {
+	return err.(*codedError).code // want "type assertion on error value; use errors.As"
+}
+
+func typeSwitch(err error) string {
+	switch err.(type) { // want "type switch on error value; use errors.As"
+	case *codedError:
+		return "coded"
+	default:
+		return "other"
+	}
+}
+
+func typeSwitchBind(err error) int {
+	switch e := err.(type) { // want "type switch on error value; use errors.As"
+	case *codedError:
+		return e.code
+	}
+	return 0
+}
+
+// nilChecks are how Go spells "no error": silent.
+func nilChecks(err error) bool {
+	if err == nil {
+		return true
+	}
+	return nil != err
+}
+
+// properIs and properAs use the errors package: silent.
+func properIs(err error) bool {
+	return errors.Is(err, errSentinel)
+}
+
+func properAs(err error) (int, bool) {
+	var ce *codedError
+	if errors.As(err, &ce) {
+		return ce.code, true
+	}
+	return 0, false
+}
+
+// concretePointers compares two *codedError values: pointer identity
+// is what == states, so this stays legal.
+func concretePointers(a, b *codedError) bool {
+	return a == b
+}
+
+// nonError comparisons are untouched.
+func nonError(a, b string) bool {
+	return a == b
+}
+
+// assertToOtherInterface still goes through the error value: flagged
+// (errors.As handles interface targets and sees through wrapping).
+func assertToOtherInterface(err error) bool {
+	type temporary interface{ Temporary() bool }
+	if t, ok := err.(temporary); ok { // want "type assertion on error value; use errors.As"
+		return t.Temporary()
+	}
+	return false
+}

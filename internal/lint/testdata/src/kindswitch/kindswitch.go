@@ -1,0 +1,158 @@
+// Package fixture seeds enum-switch violations for the kindswitch
+// analyzer's golden test: switches over a local iota family and over
+// the real transport.Kind, in exhaustive, defaulted, and holey forms.
+package fixture
+
+import "powerlog/internal/transport"
+
+// phase is an enum family: ≥3 constants, distinct contiguous values.
+type phase int
+
+const (
+	phaseScan phase = iota
+	phaseFold
+	phaseFlush
+	phaseIdle
+)
+
+// flags is NOT a family: the values have gaps (bitmask shape), so no
+// switch over it is ever flagged.
+type flags uint8
+
+const (
+	flagA flags = 1
+	flagB flags = 2
+	flagC flags = 4
+)
+
+func missingOne(p phase) string {
+	switch p { // want "switch over fixture.phase is not exhaustive: missing phaseIdle"
+	case phaseScan:
+		return "scan"
+	case phaseFold:
+		return "fold"
+	case phaseFlush:
+		return "flush"
+	}
+	return ""
+}
+
+func missingSeveral(p phase) bool {
+	switch p { // want "missing phaseFold, phaseFlush, phaseIdle"
+	case phaseScan:
+		return true
+	}
+	return false
+}
+
+// exhaustive covers every constant: silent.
+func exhaustive(p phase) string {
+	switch p {
+	case phaseScan:
+		return "scan"
+	case phaseFold:
+		return "fold"
+	case phaseFlush:
+		return "flush"
+	case phaseIdle:
+		return "idle"
+	}
+	return ""
+}
+
+// defaulted opts out with an explicit default: silent.
+func defaulted(p phase) string {
+	switch p {
+	case phaseScan:
+		return "scan"
+	default:
+		return "other"
+	}
+}
+
+// bitmaskSwitch is over a non-family type: silent even with holes.
+func bitmaskSwitch(f flags) bool {
+	switch f {
+	case flagA:
+		return true
+	}
+	return false
+}
+
+// nonConstantCase makes coverage undecidable: silent.
+func nonConstantCase(p, q phase) bool {
+	switch p {
+	case q:
+		return true
+	case phaseScan:
+		return false
+	}
+	return false
+}
+
+// kindDropsPark mirrors the real worker.handle() bug class: the switch
+// misses the park-era protocol kinds PR 7 added.
+func kindDropsPark(k transport.Kind) string {
+	switch k { // want "switch over transport.Kind is not exhaustive: missing Park, ParkMark, ParkDone, EpochStart"
+	case transport.Data, transport.EndPhase, transport.PhaseDone, transport.Continue,
+		transport.StatsRequest, transport.StatsReply, transport.Stop,
+		transport.SnapRequest, transport.SnapMark, transport.SnapDone, transport.Resume:
+		return "session-era"
+	}
+	return ""
+}
+
+// multiCaseStillMissing groups constants per arm but leaves one out.
+func multiCaseStillMissing(p phase) bool {
+	switch p { // want "missing phaseIdle"
+	case phaseScan, phaseFold:
+		return true
+	case phaseFlush:
+		return false
+	}
+	return false
+}
+
+type dispatcher struct{}
+
+// methods are walked the same as functions.
+func (dispatcher) route(p phase) int {
+	switch p { // want "missing phaseScan"
+	case phaseFold, phaseFlush, phaseIdle:
+		return 1
+	}
+	return 0
+}
+
+// kindDropsOne misses exactly the newest protocol kind.
+func kindDropsOne(k transport.Kind) bool {
+	switch k { // want "missing EpochStart"
+	case transport.Data, transport.EndPhase, transport.PhaseDone, transport.Continue,
+		transport.StatsRequest, transport.StatsReply, transport.Stop,
+		transport.SnapRequest, transport.SnapMark, transport.SnapDone, transport.Resume,
+		transport.Park, transport.ParkMark, transport.ParkDone:
+		return true
+	}
+	return false
+}
+
+// kindDefaulted handles two kinds and defaults the rest: silent.
+func kindDefaulted(k transport.Kind) bool {
+	switch k {
+	case transport.Data:
+		return true
+	case transport.Stop:
+		return false
+	default:
+		return false
+	}
+}
+
+// tagless switches have no tag type: silent.
+func tagless(k transport.Kind) bool {
+	switch {
+	case k == transport.Data:
+		return true
+	}
+	return false
+}

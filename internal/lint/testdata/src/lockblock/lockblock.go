@@ -67,3 +67,83 @@ func (b *box) goroutineClean(v int) {
 	go func() { b.ch <- v }()
 	b.mu.Unlock()
 }
+
+// --- lock re-acquisition and sync.Cond held-set discipline ---
+
+type pool struct {
+	mu    sync.Mutex
+	extra sync.Mutex
+	rw    sync.RWMutex
+	cond  *sync.Cond
+	work  []int
+}
+
+func (p *pool) doubleLock() {
+	p.mu.Lock()
+	p.mu.Lock() // want "Lock of p.mu while already held"
+	p.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func (p *pool) recursiveRLock() int {
+	p.rw.RLock()
+	defer p.rw.RUnlock()
+	p.rw.RLock() // want "RLock of p.rw while already held"
+	defer p.rw.RUnlock()
+	return len(p.work)
+}
+
+func (p *pool) waitNoLock() {
+	p.cond.Wait() // want "sync.Cond Wait with no lock held"
+}
+
+func (p *pool) waitTwoLocks() {
+	p.mu.Lock()
+	p.extra.Lock()
+	for len(p.work) == 0 {
+		p.cond.Wait() // want "sync.Cond Wait while 2 locks are held"
+	}
+	p.extra.Unlock()
+	p.mu.Unlock()
+}
+
+// waitProper must stay silent: exactly one lock held, the canonical
+// predicate loop.
+func (p *pool) waitProper() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.work) == 0 {
+		p.cond.Wait()
+	}
+	return p.work[0]
+}
+
+// signalUnderLock must stay silent: Signal and Broadcast never block.
+func (p *pool) signalUnderLock(v int) {
+	p.mu.Lock()
+	p.work = append(p.work, v)
+	p.cond.Signal()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// relockAfterUnlock must stay silent: the first hold is released
+// before the second acquisition.
+func (p *pool) relockAfterUnlock() {
+	p.mu.Lock()
+	p.work = nil
+	p.mu.Unlock()
+	p.mu.Lock()
+	p.work = append(p.work, 1)
+	p.mu.Unlock()
+}
+
+// distinctLocks must stay silent: nesting different keys is lock
+// ordering, not re-acquisition.
+func (p *pool) distinctLocks() {
+	p.mu.Lock()
+	p.extra.Lock()
+	p.work = nil
+	p.extra.Unlock()
+	p.mu.Unlock()
+}

@@ -1,0 +1,54 @@
+// Package fixture seeds metric-name violations for the metricname
+// analyzer's golden test. The fixture declares its own WellKnownNames
+// manifest; the analyzer treats any package-level var of that name as
+// the inventory, so the checks run exactly as they do against the real
+// internal/metrics manifest.
+package fixture
+
+import (
+	"fmt"
+
+	"powerlog/internal/metrics"
+)
+
+// WellKnownNames is this fixture's manifest.
+var WellKnownNames = []string{
+	"good.counter",
+	"good.gauge",
+	"good.latency_us",
+	"dead.entry", // want `manifest metric "dead.entry" has no registration site`
+	"family.dst%d",
+}
+
+func register(r *metrics.Registry) {
+	r.Counter("good.counter")
+	r.Gauge("good.gauge")
+	r.Histogram("good.latency_us")
+	r.Counter("rogue.counter") // want `metric "rogue.counter" is not in the metrics.WellKnownNames manifest`
+	for i := 0; i < 4; i++ {
+		r.Histogram(fmt.Sprintf("family.dst%d", i))
+	}
+	r.Counter(fmt.Sprintf("rogue.family%d", 9)) // want `dynamic metric family "rogue.family%d" is not in the metrics.WellKnownNames manifest`
+}
+
+// registerAgain duplicates a fixed name from a second site.
+func registerAgain(r *metrics.Registry) {
+	r.Counter("good.counter") // want `metric "good.counter" is also registered at`
+}
+
+func read(s metrics.Snapshot) uint64 {
+	a := s.Counter("good.counter")          // resolves to a writer: silent
+	b := s.Counters["typo.counter"]         // want `metric "typo.counter" is read but never registered`
+	c := s.Counters["family.dst3"]          // matches the family.dst%d pattern: silent
+	_ = s.Gauges["good.gauge"]              // silent
+	_ = s.Histograms["good.latency_us"]     // silent
+	_ = s.MergeHistograms("family.")        // prefix of a registered family: silent
+	_ = s.MergeHistograms("no.such.metric") // want `histogram prefix "no.such.metric" matches no registered metric`
+	return a + b + c
+}
+
+// varName reaches the registry through a variable: out of scope,
+// deliberately silent.
+func varName(r *metrics.Registry, name string) {
+	r.Counter(name)
+}

@@ -63,3 +63,81 @@ func nilOut(m *transport.Message) {
 	m.KVs = nil
 	_ = len(m.KVs)
 }
+
+// --- interprocedural: kills through helper calls ---
+
+// recycleHelper kills its parameter; callers lose the batch.
+func recycleHelper(b []transport.KV) {
+	transport.PutBatch(b)
+}
+
+// forwardHelper hands the batch off two levels down.
+func forwardHelper(b []transport.KV) {
+	recycleHelper(b)
+}
+
+// borrowHelper only reads; callers keep the batch.
+func borrowHelper(b []transport.KV) int {
+	return len(b)
+}
+
+// maybeRecycle kills on one branch: may-kill still poisons callers.
+func maybeRecycle(b []transport.KV, done bool) {
+	if done {
+		transport.PutBatch(b)
+	}
+}
+
+// drainMessage recycles the batch inside a Message parameter.
+func drainMessage(m transport.Message) {
+	transport.PutBatch(m.KVs)
+}
+
+func useAfterHelper() float64 {
+	kvs := transport.GetBatch(4)
+	recycleHelper(kvs)
+	return kvs[0].V // want "batch kvs used after call to recycleHelper"
+}
+
+func useAfterNestedHelper() {
+	kvs := transport.GetBatch(4)
+	forwardHelper(kvs)
+	kvs = append(kvs, transport.KV{K: 1, V: 2}) // want "batch kvs used after call to forwardHelper"
+	_ = kvs
+}
+
+func useAfterMaybe(done bool) int {
+	kvs := transport.GetBatch(4)
+	maybeRecycle(kvs, done)
+	return len(kvs) // want "batch kvs used after call to maybeRecycle"
+}
+
+func messageThroughHelper(m transport.Message) int {
+	drainMessage(m)
+	return len(m.KVs) // want `batch m.KVs used after call to drainMessage`
+}
+
+// borrowIsFine must stay silent: the helper only reads the batch.
+func borrowIsFine() {
+	kvs := transport.GetBatch(4)
+	_ = borrowHelper(kvs)
+	kvs = append(kvs, transport.KV{K: 1, V: 2})
+	transport.PutBatch(kvs)
+}
+
+// deferredHelper must stay silent before the function returns: the
+// deferred call runs at exit, after the uses.
+func deferredHelper() int {
+	kvs := transport.GetBatch(4)
+	defer recycleHelper(kvs)
+	kvs = append(kvs, transport.KV{K: 1, V: 2})
+	return len(kvs)
+}
+
+// reviveAfterHelper must stay silent: reassignment gives a fresh batch.
+func reviveAfterHelper() {
+	kvs := transport.GetBatch(2)
+	recycleHelper(kvs)
+	kvs = transport.GetBatch(8)
+	transport.PutBatch(kvs)
+}

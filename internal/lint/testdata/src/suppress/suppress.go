@@ -1,0 +1,35 @@
+// Package suppress seeds errcmp violations paired with every shape of
+// //plvet:ignore directive; lint_test.go's TestSuppression runs the
+// full driver over it and checks which findings survive.
+package suppress
+
+import "errors"
+
+var sentinel = errors.New("boom")
+
+// Same-line directive: suppressed.
+func sameLine(err error) bool {
+	return err == sentinel //plvet:ignore errcmp fixture: suppression on the offending line
+}
+
+// Directive alone on the line above: suppressed.
+func lineAbove(err error) bool {
+	//plvet:ignore errcmp fixture: directive covers the next line
+	return err == sentinel
+}
+
+// Directive names a different analyzer: the errcmp finding survives.
+func wrongAnalyzer(err error) bool {
+	return err == sentinel //plvet:ignore shadow fixture: scoped to the wrong analyzer
+}
+
+// Reason missing: the directive is malformed (a "plvet" finding) and
+// suppresses nothing.
+func malformed(err error) bool {
+	return err == sentinel //plvet:ignore errcmp
+}
+
+// Unknown analyzer name: reported, suppresses nothing.
+func unknownName(err error) bool {
+	return err == sentinel //plvet:ignore nosuch fixture: typo'd analyzer name
+}

@@ -380,6 +380,9 @@ func (p *parser) expr(minPrec int) (*expr.Expr, error) {
 			lhs = expr.Mul(lhs, rhs)
 		case lexer.Slash:
 			lhs = expr.Div(lhs, rhs)
+		default:
+			// Unreachable: the precedence switch above already returned
+			// for every non-operator token.
 		}
 	}
 }

@@ -565,6 +565,9 @@ func TestMasterDetectsLostWorker(t *testing.T) {
 							transport.Message{Kind: transport.PhaseDone, Stats: transport.Stats{Dirty: true, AccDelta: 1}})
 					case transport.Stop:
 						return
+					default:
+						// The fake worker only speaks the stats protocol;
+						// everything else is dropped on the floor.
 					}
 				}
 			}()

@@ -485,6 +485,9 @@ func (w *worker) handle(m transport.Message) {
 		if m.Round > w.epochGo {
 			w.epochGo = m.Round
 		}
+	case transport.PhaseDone, transport.StatsReply, transport.SnapDone, transport.ParkDone:
+		// Worker→master kinds; a worker receiving one (misrouted frame,
+		// chaos injection) ignores it rather than corrupting local state.
 	}
 }
 

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"errors"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -109,7 +110,8 @@ func TestFromExprRejectsCalls(t *testing.T) {
 	if err == nil {
 		t.Fatal("relu should not normalise")
 	}
-	if _, ok := err.(*ErrNonPolynomial); !ok {
+	var npe *ErrNonPolynomial
+	if !errors.As(err, &npe) {
 		t.Errorf("want ErrNonPolynomial, got %T", err)
 	}
 }

@@ -99,6 +99,10 @@ func appendPayload(buf []byte, m *Message) []byte {
 			flags |= 2
 		}
 		buf = append(buf, flags)
+	default:
+		// Control kinds (EndPhase, Continue, Stop, the snapshot and park
+		// handshakes, ...) carry nothing beyond the kind/from/round
+		// header.
 	}
 	return buf
 }
@@ -143,6 +147,9 @@ func decodePayload(data []byte) (Message, error) {
 		flags := d.byte()
 		m.Stats.Idle = flags&1 != 0
 		m.Stats.Dirty = flags&2 != 0
+	default:
+		// Control kinds have an empty payload; the header already
+		// decoded is the whole message.
 	}
 	if d.bad {
 		if m.Kind == Data {
