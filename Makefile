@@ -19,7 +19,11 @@
 # tiny dataset, all six modes. `make churn-smoke` exercises the session
 # lifecycle end-to-end: incremental Apply vs cold re-run on the tiny
 # dataset across the four session-capable modes (the race pass already
-# covers the session tests via ./internal/runtime/... -short).
+# covers the session tests via ./internal/runtime/... -short). The
+# PR 9 membership layer (membership.go, rejoin_test.go: crashw re-join
+# matrix, elastic scale drills) also races under ./internal/runtime/...
+# -short — the fence/handoff/park interleavings are exactly where a
+# race would hide.
 .PHONY: check build vet lint test race bench metrics-smoke churn-smoke
 
 check: vet lint build test race metrics-smoke churn-smoke

@@ -151,6 +151,12 @@ type RunConfig struct {
 	MaxWall           time.Duration
 	PriorityThreshold float64
 
+	// CollectTimeout is the master's per-worker liveness deadline
+	// (runtime Config.CollectTimeout); 0 keeps the runtime default. The
+	// rejoin experiment shortens it so a crashed worker is declared lost
+	// in milliseconds rather than at the MaxWall fallback.
+	CollectTimeout time.Duration
+
 	// PerfectNetwork disables the cluster-fabric emulation (tests use
 	// it); by default experiment runs emulate the paper's 1.5 Gbps NIC
 	// as a 10M KV/s serialisation cost on each worker's comm thread
@@ -238,6 +244,7 @@ func (c RunConfig) engineConfig(mode runtime.Mode) (runtime.Config, error) {
 		Tau:               c.Tau,
 		CheckInterval:     c.CheckInterval,
 		MaxWall:           c.MaxWall,
+		CollectTimeout:    c.CollectTimeout,
 		PriorityThreshold: c.PriorityThreshold,
 		OrderedScan:       c.OrderedScan,
 		Staleness:         c.Staleness,
@@ -261,13 +268,21 @@ func (c RunConfig) engineConfig(mode runtime.Mode) (runtime.Config, error) {
 
 // RunMode times one engine mode on a prepared workload.
 func RunMode(w *Workload, mode runtime.Mode, cfg RunConfig) (Measurement, error) {
+	m, _, err := runModeResult(w, mode, cfg)
+	return m, err
+}
+
+// runModeResult is RunMode plus the raw engine Result, for experiments
+// that read master-side state (the rejoin experiment's membership
+// counters and fence-latency histogram).
+func runModeResult(w *Workload, mode runtime.Mode, cfg RunConfig) (Measurement, *runtime.Result, error) {
 	rc, err := cfg.engineConfig(mode)
 	if err != nil {
-		return Measurement{}, err
+		return Measurement{}, nil, err
 	}
 	res, err := runtime.Run(w.Plan, rc)
 	if err != nil {
-		return Measurement{}, err
+		return Measurement{}, nil, err
 	}
 	m := Measurement{
 		Algo:      w.Algo,
@@ -291,5 +306,5 @@ func RunMode(w *Workload, mode runtime.Mode, cfg RunConfig) (Measurement, error)
 	if betaN > 0 {
 		m.BetaFinal = betaSum / float64(betaN)
 	}
-	return m, nil
+	return m, res, nil
 }

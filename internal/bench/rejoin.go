@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"powerlog/internal/gen"
+	"powerlog/internal/runtime"
+)
+
+// Rejoin measures the elastic-membership layer (DESIGN.md §11): a worker
+// crashed silently mid-fixpoint is detected by the liveness probe,
+// replaced on a reset endpoint, and re-joined through a membership fence
+// while the survivors keep their state. For one selective workload
+// (SSSP — survivor replay, Theorem 3) and one combining workload
+// (PageRank — rollback to a consistent cut) each non-barriered mode runs
+// four times:
+//
+//	clean     no faults, the baseline wall time
+//	livejoin  crashw fault, live re-join; the fence latency (orphan
+//	          verdict to Release) is the time-to-recover, and the wall
+//	          time relative to clean is the throughput dip
+//	crashed   master-abort fault with checkpoints on (the PR-4 baseline)
+//	restart   warm-start from the crashed run's snapshots; its wall time
+//	          is what restart-the-world pays to re-reach the fixpoint
+//
+// The headline comparison is time-to-recover: the live fence (ms) versus
+// the restart re-fixpoint (s).
+func Rejoin(w io.Writer, cfg RunConfig) ([]Measurement, error) {
+	d, err := gen.DatasetByName("LiveJ")
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Smoke {
+		d = gen.TinyDatasets()[0]
+	}
+	return rejoinOn(w, cfg, d)
+}
+
+func rejoinOn(w io.Writer, cfg RunConfig, d gen.Dataset) ([]Measurement, error) {
+	fmt.Fprintf(w, "Rejoin: crashed worker re-joins live vs restart-the-world (dataset %s)\n", d.Name)
+	if cfg.CollectTimeout <= 0 {
+		cfg.CollectTimeout = 250 * time.Millisecond
+	}
+	// Only the non-barriered MRA family has live re-join; the BSP verdict
+	// protocol has no fence point mid-superstep and aborts on loss.
+	modes := []runtime.Mode{runtime.MRAAsync, runtime.MRASyncAsync, runtime.MRASSP}
+	var out []Measurement
+	for _, algo := range []string{"SSSP", "PageRank"} {
+		wl, err := Prepare(algo, d)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range modes {
+			clean, err := RunMode(wl, mode, cfg)
+			if err != nil {
+				return nil, err
+			}
+			clean.Series = mode.String() + "/clean"
+			out = append(out, clean)
+
+			// Live re-join: the worker dies without a Stop handshake.
+			// Checkpoints stay OFF here — a combining fleet rolls back to
+			// the ΔX¹ seed inside the fence (the rollback worst case), and
+			// a selective fleet repairs by survivor replay alone. Leaving
+			// episodic checkpoints on would charge the live run a
+			// stop-the-world cut per master round, which is the restart
+			// baseline's cost model, not this one's.
+			liveCfg := cfg
+			liveCfg.Faults = "seed=9,crashw=1:6"
+			live, res, err := runModeResult(wl, mode, liveCfg)
+			if err != nil {
+				return nil, err
+			}
+			live.Series = mode.String() + "/livejoin"
+			// Fold the master's membership trail into the measurement so
+			// the counters and the fence-latency histogram survive into
+			// the recorded rows.
+			live.Metrics = live.Metrics.Merge(res.Master)
+			out = append(out, live)
+			joins := res.Master.Counters["master.member.join"]
+			fence := res.Master.Histograms["master.member.handoff_us"]
+
+			// Restart-the-world baseline: abort the whole fleet at a
+			// master round, then re-reach the fixpoint from the snapshots.
+			restartDir, err := os.MkdirTemp("", "plbench-rejoin-restart-*")
+			if err != nil {
+				return nil, err
+			}
+			crashCfg := cfg
+			crashCfg.SnapshotDir = restartDir
+			crashCfg.SnapshotEvery = 1
+			crashCfg.Faults = "seed=7,crash=6"
+			crashed, err := RunMode(wl, mode, crashCfg)
+			if err != nil {
+				os.RemoveAll(restartDir)
+				return nil, err
+			}
+			crashed.Series = mode.String() + "/crashed"
+			out = append(out, crashed)
+
+			restartCfg := cfg
+			restartCfg.RestoreDir = restartDir
+			restart, err := RunMode(wl, mode, restartCfg)
+			os.RemoveAll(restartDir)
+			if err != nil {
+				return nil, err
+			}
+			restart.Series = mode.String() + "/restart"
+			out = append(out, restart)
+
+			note := ""
+			if joins == 0 {
+				note = "  [converged before the injected crash]"
+			}
+			fmt.Fprintf(w, "  %-9s %-14s clean=%7.3fs  live=%7.3fs (dip=%.2fx, joins=%d, fence=%.1fms)  restart=%7.3fs (%.2fx clean)%s\n",
+				algo, mode.String(), clean.Seconds, live.Seconds, live.Seconds/clean.Seconds,
+				joins, float64(fence.Sum)/1e3, restart.Seconds, restart.Seconds/clean.Seconds, note)
+		}
+	}
+	return out, nil
+}

@@ -77,12 +77,22 @@ type Spec struct {
 	// would. The detectors are self-stabilising, so the run must still
 	// terminate with the correct result.
 	MasterRestartRound int
+
+	// CrashWorkerID / CrashWorkerPass: worker CrashWorkerID exits
+	// silently — no Stop handshake, no final flush — at the start of its
+	// CrashWorkerPass-th compute pass (1-based; 0 = never). Unlike
+	// CrashRound this kills exactly one worker and leaves the rest of
+	// the fleet running, which is what the membership layer's live
+	// re-join recovers from (DESIGN.md §11).
+	CrashWorkerID   int
+	CrashWorkerPass int
 }
 
 // Enabled reports whether the spec injects anything at all.
 func (s Spec) Enabled() bool {
 	return s.StallEvery > 0 || s.DropEndPhase > 0 || s.SendFail > 0 || s.DupData > 0 ||
-		s.DelayProb > 0 || s.PartTo > s.PartFrom || s.CrashRound > 0 || s.MasterRestartRound > 0
+		s.DelayProb > 0 || s.PartTo > s.PartFrom || s.CrashRound > 0 || s.MasterRestartRound > 0 ||
+		s.CrashWorkerPass > 0
 }
 
 // String renders the spec in ParseSpec's syntax.
@@ -115,6 +125,9 @@ func (s Spec) String() string {
 	}
 	if s.MasterRestartRound > 0 {
 		add("mrestart=%d", s.MasterRestartRound)
+	}
+	if s.CrashWorkerPass > 0 {
+		add("crashw=%d:%d", s.CrashWorkerID, s.CrashWorkerPass)
 	}
 	return strings.Join(parts, ",")
 }
@@ -170,6 +183,11 @@ func ParseSpec(text string) (Spec, error) {
 			_, err = fmt.Sscanf(val, "%d", &s.CrashRound)
 		case "mrestart":
 			_, err = fmt.Sscanf(val, "%d", &s.MasterRestartRound)
+		case "crashw":
+			if _, err = fmt.Sscanf(val, "%d:%d", &s.CrashWorkerID, &s.CrashWorkerPass); err == nil &&
+				s.CrashWorkerPass <= 0 {
+				return s, fmt.Errorf("fault: crashw wants WORKER:PASS with PASS >= 1, got %q", val)
+			}
 		default:
 			return s, fmt.Errorf("fault: unknown clause %q", key)
 		}
@@ -244,6 +262,15 @@ func (i *Injector) CrashRound() int { return i.spec.CrashRound }
 // MasterRestartRound returns the master round at which the termination
 // detector loses its state (0 = never).
 func (i *Injector) MasterRestartRound() int { return i.spec.MasterRestartRound }
+
+// WorkerCrashPass returns the compute pass (1-based) at whose start the
+// given worker silently exits, or 0 if it never crashes.
+func (i *Injector) WorkerCrashPass(worker int) int {
+	if i.spec.CrashWorkerPass > 0 && worker == i.spec.CrashWorkerID {
+		return i.spec.CrashWorkerPass
+	}
+	return 0
+}
 
 // partitioned reports whether the link (from,to) is inside its
 // partition window at event idx. Each failed attempt advances the

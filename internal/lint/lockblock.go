@@ -7,8 +7,10 @@ import (
 )
 
 // lockblockAnalyzer forbids blocking operations while a sync.Mutex or
-// sync.RWMutex is held: channel sends and receives, select statements,
-// ranging over a channel, time.Sleep, and transport Send/TrySend calls.
+// sync.RWMutex is held: channel sends and receives, select statements
+// without a default clause (with one, a select is Go's non-blocking
+// channel op and is allowed), ranging over a channel, time.Sleep, and
+// transport Send/TrySend calls.
 // The runtime's progress argument (asynchronous workers never wait on
 // each other inside shared-state critical sections — the paper's §6
 // no-global-barrier property) depends on critical sections being
@@ -205,7 +207,20 @@ func (c *lockblockChecker) stmt(s ast.Stmt, held []heldLock) []heldLock {
 		}
 		return held
 	case *ast.SelectStmt:
-		c.flagIfHeld(s.Select, held, "select")
+		// A select with a default clause never blocks — it is Go's
+		// spelling of a non-blocking channel op (the transport's locked
+		// trySend relies on exactly this: the lock is what fences the
+		// channel against a concurrent close). Only a default-less
+		// select can park the goroutine with the lock held.
+		hasDefault := false
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok && clause.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			c.flagIfHeld(s.Select, held, "select")
+		}
 		for _, cc := range s.Body.List {
 			if clause, ok := cc.(*ast.CommClause); ok {
 				c.stmts(clause.Body, cloneHeld(held))

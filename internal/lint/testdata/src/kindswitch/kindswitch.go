@@ -91,15 +91,42 @@ func nonConstantCase(p, q phase) bool {
 }
 
 // kindDropsPark mirrors the real worker.handle() bug class: the switch
-// misses the park-era protocol kinds PR 7 added.
+// misses the park-era kinds PR 7 added and the membership kinds after
+// them.
 func kindDropsPark(k transport.Kind) string {
-	switch k { // want "switch over transport.Kind is not exhaustive: missing Park, ParkMark, ParkDone, EpochStart"
+	switch k { // want "switch over transport.Kind is not exhaustive: missing Park, ParkMark, ParkDone, EpochStart, Join, Orphan, Handoff, Release"
 	case transport.Data, transport.EndPhase, transport.PhaseDone, transport.Continue,
 		transport.StatsRequest, transport.StatsReply, transport.Stop,
 		transport.SnapRequest, transport.SnapMark, transport.SnapDone, transport.Resume:
 		return "session-era"
 	}
 	return ""
+}
+
+// kindDropsMembership covers everything up to the park era but misses
+// the membership fence kinds (elastic re-join / scale, DESIGN.md §11).
+func kindDropsMembership(k transport.Kind) string {
+	switch k { // want "switch over transport.Kind is not exhaustive: missing Join, Orphan, Handoff, Release"
+	case transport.Data, transport.EndPhase, transport.PhaseDone, transport.Continue,
+		transport.StatsRequest, transport.StatsReply, transport.Stop,
+		transport.SnapRequest, transport.SnapMark, transport.SnapDone, transport.Resume,
+		transport.Park, transport.ParkMark, transport.ParkDone, transport.EpochStart:
+		return "park-era"
+	}
+	return ""
+}
+
+// kindExhaustiveAll covers the full protocol enumeration: silent.
+func kindExhaustiveAll(k transport.Kind) bool {
+	switch k {
+	case transport.Data, transport.EndPhase, transport.PhaseDone, transport.Continue,
+		transport.StatsRequest, transport.StatsReply, transport.Stop,
+		transport.SnapRequest, transport.SnapMark, transport.SnapDone, transport.Resume,
+		transport.Park, transport.ParkMark, transport.ParkDone, transport.EpochStart,
+		transport.Join, transport.Orphan, transport.Handoff, transport.Release:
+		return true
+	}
+	return false
 }
 
 // multiCaseStillMissing groups constants per arm but leaves one out.
@@ -126,11 +153,12 @@ func (dispatcher) route(p phase) int {
 
 // kindDropsOne misses exactly the newest protocol kind.
 func kindDropsOne(k transport.Kind) bool {
-	switch k { // want "missing EpochStart"
+	switch k { // want "missing Release"
 	case transport.Data, transport.EndPhase, transport.PhaseDone, transport.Continue,
 		transport.StatsRequest, transport.StatsReply, transport.Stop,
 		transport.SnapRequest, transport.SnapMark, transport.SnapDone, transport.Resume,
-		transport.Park, transport.ParkMark, transport.ParkDone:
+		transport.Park, transport.ParkMark, transport.ParkDone, transport.EpochStart,
+		transport.Join, transport.Orphan, transport.Handoff:
 		return true
 	}
 	return false

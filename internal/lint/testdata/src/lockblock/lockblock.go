@@ -40,9 +40,24 @@ func (b *box) selectUnderLock() {
 	select { // want "select while b.mu is held"
 	case v := <-b.ch:
 		b.n = v
-	default:
+	case b.ch <- 0:
 	}
 	b.mu.Unlock()
+}
+
+// nonBlockingSelectUnderLock must stay silent: a select with a default
+// clause never parks — it is the idiomatic non-blocking channel op, and
+// holding the lock across it is exactly how a sender fences the channel
+// against a concurrent close.
+func (b *box) nonBlockingSelectUnderLock(v int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- v:
+		return true
+	default:
+		return false
+	}
 }
 
 func sendMessageUnderLock(c transport.Conn, mu *sync.Mutex) {

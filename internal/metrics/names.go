@@ -42,7 +42,13 @@ var WellKnownNames = []string{
 	"master.round",
 	"master.collect.wait_us",
 	"master.collect.timeout",
+	"master.collect.probe",
 	"engine.epoch",
+
+	// Membership layer (§11): live re-join and shard rebalancing.
+	"master.member.join",
+	"master.member.orphan",
+	"master.member.handoff_us",
 	"delta.reseed.keys",
 	"delete.invalidate.keys",
 

@@ -65,7 +65,7 @@ func (b *bspBarrier) endPass(w *worker, _ bool) bool {
 		}
 	}
 	stats.Sent, stats.Recv = w.sent, w.recv
-	w.enqueue(transport.MasterID(w.nw), transport.Message{Kind: transport.PhaseDone, Stats: stats})
+	w.enqueue(w.master, transport.Message{Kind: transport.PhaseDone, Stats: stats})
 	return w.awaitVerdict()
 }
 
@@ -83,8 +83,10 @@ func (freeRun) beginPass(w *worker) bool { return w.drainInbox() }
 func (freeRun) endPass(w *worker, progressed bool) bool {
 	// A pass boundary is the async family's snapshot safe point: join a
 	// pending marker episode (combining aggregates) or write a local
-	// stale snapshot (selective aggregates, Theorem 3).
+	// stale snapshot (selective aggregates, Theorem 3) — and the
+	// membership safe point: join a pending fence (membership.go).
 	w.maybeSnapshot()
+	w.maybeJoinFence()
 	if progressed {
 		// Only productive passes count as effective iterations (the
 		// ε gating and the system-level cap both key off them).
@@ -119,11 +121,9 @@ const markerResend = 3 * time.Millisecond
 // markers (data lane, so per-pair ordering guarantees the data lands
 // before the marker).
 func (w *worker) broadcastEndPhase(round int) {
-	for j := 0; j < w.nw; j++ {
-		if j != w.id {
-			w.enqueue(j, transport.Message{Kind: transport.EndPhase, Round: round})
-		}
-	}
+	w.eachPeer(func(j int) {
+		w.enqueue(j, transport.Message{Kind: transport.EndPhase, Round: round})
+	})
 }
 
 // awaitPeerRounds blocks until every peer has announced completion of at

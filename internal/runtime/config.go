@@ -164,6 +164,36 @@ type Config struct {
 	// rate, serialised through the worker's communication thread. The
 	// zero profile is a perfect network (tests use that).
 	Network NetworkProfile
+
+	// Elastic enables live membership changes on a Session (DESIGN.md
+	// §11): Session.AddWorker / Session.RemoveWorker rebalance shards
+	// mid-fixpoint through the membership fence, and key routing switches
+	// from static modulo partitioning to a consistent-hash ring so a
+	// membership change moves only the affected key ranges. Elastic
+	// sessions force Sparse shard tables (the Dense layout is strided by
+	// the static modulo) and require a non-barriered MRA mode — the BSP
+	// family's lockstep barrier has no safe point to re-route at.
+	// Crash re-join (a lost worker replaced in place) does NOT need
+	// Elastic; it works on any non-barriered MRA session.
+	Elastic bool
+	// MaxWorkers caps how many workers an Elastic session may grow to
+	// (transport endpoints are pre-allocated up to the cap). 0 selects
+	// Workers+4. Ignored unless Elastic is set.
+	MaxWorkers int
+}
+
+// fleetCap is the number of worker endpoints the transport is built
+// with: the static fleet size, or the elastic growth cap. The master
+// endpoint sits at index fleetCap() (so for static fleets it stays at
+// Workers, backward compatible with every existing layout).
+func (c Config) fleetCap() int {
+	if !c.Elastic {
+		return c.Workers
+	}
+	if c.MaxWorkers > c.Workers {
+		return c.MaxWorkers
+	}
+	return c.Workers + 4
 }
 
 // NetworkProfile models link cost for the in-process transport.
@@ -218,6 +248,14 @@ func (c Config) Validate() error {
 	if c.MetricsEvery < 0 {
 		return &ConfigError{Field: "MetricsEvery",
 			Reason: fmt.Sprintf("negative dump interval %v; use 0 to disable the periodic dump", c.MetricsEvery)}
+	}
+	if c.MaxWorkers < 0 {
+		return &ConfigError{Field: "MaxWorkers",
+			Reason: fmt.Sprintf("negative cap %d; use 0 for the Workers+4 default", c.MaxWorkers)}
+	}
+	if c.Elastic && c.MaxWorkers > 0 && c.Workers > 0 && c.MaxWorkers < c.Workers {
+		return &ConfigError{Field: "MaxWorkers",
+			Reason: fmt.Sprintf("cap %d is below the initial fleet size %d", c.MaxWorkers, c.Workers)}
 	}
 	return nil
 }

@@ -35,11 +35,9 @@ func (w *worker) maybeSnapshot() {
 		return
 	}
 	w.flushAll()
-	for j := 0; j < w.nw; j++ {
-		if j != w.id {
-			w.enqueue(j, transport.Message{Kind: transport.SnapMark, Round: e})
-		}
-	}
+	w.eachPeer(func(j int) {
+		w.enqueue(j, transport.Message{Kind: transport.SnapMark, Round: e})
+	})
 	// Fold data until every peer's mark for this epoch arrives. Per-pair
 	// FIFO means everything folded here was sent before the sender's
 	// mark — pre-cut traffic that belongs in the snapshot.
@@ -55,7 +53,7 @@ func (w *worker) maybeSnapshot() {
 		return
 	}
 	_ = w.snapshot(e, true) // best-effort: a failed shard write must not kill the run
-	w.enqueue(transport.MasterID(w.nw), transport.Message{Kind: transport.SnapDone, Round: e})
+	w.enqueue(w.master, transport.Message{Kind: transport.SnapDone, Round: e})
 	for !w.stopped && !w.sendDead.Load() && w.resumeEpoch < e {
 		m, ok := <-w.conn.Inbox()
 		if !ok {
@@ -68,12 +66,16 @@ func (w *worker) maybeSnapshot() {
 }
 
 func (w *worker) minSnapMarks() int {
-	least := -1
+	// Skipping crash-orphaned peers is what unwedges a survivor blocked
+	// in an episode on a dead worker's mark: the Orphan verdict arrives
+	// through handle() while this worker folds its inbox, the dead slot
+	// drops out of the scan, and the cut completes over the survivors.
+	least := maxSteps // no waitable peer: nothing to wait for
 	for j, s := range w.snapMarks {
-		if j == w.id {
+		if w.peerSkip(j) {
 			continue
 		}
-		if least < 0 || s < least {
+		if s < least {
 			least = s
 		}
 	}
@@ -118,7 +120,7 @@ const episodeTimeout = 250 * time.Millisecond
 func (m *master) runEpisode(epoch int) bool {
 	m.bcast(transport.Message{Kind: transport.SnapRequest, Round: epoch})
 	deadline := time.After(episodeTimeout)
-	for got := 0; got < m.nw; {
+	for got := 0; got < m.activeCount(); {
 		var msg transport.Message
 		var ok bool
 		if len(m.pending) > 0 {

@@ -22,6 +22,15 @@ func (s *stallBarrier) setup(w *worker) { s.inner.setup(w) }
 
 func (s *stallBarrier) beginPass(w *worker) bool {
 	s.pass++
+	if p := s.inj.WorkerCrashPass(w.id); p > 0 && s.pass == p && !w.reborn {
+		// Silent worker death: no Stop handshake, no final flush — the
+		// buffered updates and the unflushed shard die with the goroutine,
+		// which is exactly what the membership layer's live re-join
+		// (membership.go) must recover from.
+		w.crashed = true
+		w.stopped = true
+		return false
+	}
 	if d := s.inj.StallFor(w.id, s.pass); d > 0 {
 		time.Sleep(d)
 	}

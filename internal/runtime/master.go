@@ -51,10 +51,27 @@ type master struct {
 	gRound   int
 	passBase int64
 	episodes int
+
+	// Membership state (membership.go, DESIGN.md §11). live marks the
+	// slots currently in the fleet over the capacity network (static
+	// fleets: the first nw slots, forever); fence numbers membership
+	// fences; member is the session's lifecycle callbacks (nil disables
+	// live re-join — losses abort, the pre-membership behaviour); cmds
+	// carries Session.AddWorker/RemoveWorker requests (nil unless
+	// Config.Elastic).
+	live   []bool
+	fence  int
+	member *memberCoordinator
+	cmds   chan memberCmd
 }
 
 func newMaster(cfg Config, plan *compiler.Plan, conn transport.Conn) *master {
-	return &master{cfg: cfg, plan: plan, conn: conn, nw: cfg.Workers, met: newMasterMetrics(), epoch: 1}
+	m := &master{cfg: cfg, plan: plan, conn: conn, nw: cfg.Workers, met: newMasterMetrics(), epoch: 1}
+	m.live = make([]bool, cfg.fleetCap())
+	for j := 0; j < cfg.Workers; j++ {
+		m.live[j] = true
+	}
+	return m
 }
 
 // collectTimeout is the liveness deadline for one message during a
@@ -74,28 +91,50 @@ func (m *master) collectTimeout() time.Duration {
 // own inbox (stashing replies for the collect loop), so bulk data can
 // never deadlock or starve the termination protocol.
 func (m *master) bcast(msg transport.Message) {
-	try, canTry := m.conn.(transport.TrySender)
-	for j := 0; j < m.nw; j++ {
-		if !canTry {
-			_ = m.conn.Send(j, msg)
-			continue
+	for j, l := range m.live {
+		if l {
+			m.sendTo(j, msg)
 		}
-		var bo backoff
-		for {
-			ok, err := try.TrySend(j, msg)
-			if ok || err != nil {
-				break
+	}
+}
+
+// sendTo delivers one message to one worker with bcast's no-deadlock
+// discipline. The retry is bounded by the collect deadline: a receiver
+// that has not drained a single inbox slot in that long is wedged or
+// dead (a crashed worker's inbox fills with peer data and would
+// otherwise livelock the master here, before the probe→orphan path can
+// ever declare it lost), so the message is dropped like a send error —
+// every master→worker message is either re-solicited by a later
+// protocol step or follows an endpoint reset that clears the jam.
+func (m *master) sendTo(j int, msg transport.Message) {
+	try, canTry := m.conn.(transport.TrySender)
+	if !canTry {
+		_ = m.conn.Send(j, msg)
+		return
+	}
+	var bo backoff
+	var deadline time.Time
+	for {
+		ok, err := try.TrySend(j, msg)
+		if ok || err != nil {
+			return
+		}
+		select {
+		case in, chOk := <-m.conn.Inbox():
+			if !chOk {
+				return
 			}
-			select {
-			case in, chOk := <-m.conn.Inbox():
-				if !chOk {
-					return
-				}
-				m.pending = append(m.pending, in)
-				bo.reset()
-			default:
-				bo.wait()
+			m.pending = append(m.pending, in)
+			// Inbox progress says the fleet is moving, not that worker j
+			// is draining — the deadline stands.
+			bo.reset()
+		default:
+			if deadline.IsZero() {
+				deadline = time.Now().Add(m.collectTimeout())
+			} else if time.Now().After(deadline) {
+				return
 			}
+			bo.wait()
 		}
 	}
 }
@@ -138,7 +177,7 @@ func (m *master) recv() (msg transport.Message, ok, timedOut bool) {
 func (m *master) lost(round, got int) {
 	m.met.collectTimeouts.Inc()
 	m.err = fmt.Errorf("runtime: collect round %d got %d/%d reports within %v: %w",
-		round, got, m.nw, m.collectTimeout(), ErrWorkerLost)
+		round, got, m.activeCount(), m.collectTimeout(), ErrWorkerLost)
 	m.bcast(transport.Message{Kind: transport.Stop})
 }
 
@@ -146,7 +185,11 @@ func (m *master) run() {
 	// The mode registry (policy.go) records which modes run the BSP
 	// verdict protocol; everything else — the async family and SSP —
 	// terminates via polling.
+	defer m.drainMemberCmds()
 	m.parked = false
+	// Per-epoch verdict: a later epoch that stops at the iteration cap or
+	// wall clock must not inherit an earlier epoch's converged flag.
+	m.converged = false
 	if modeBarriered[m.cfg.Mode] {
 		m.runBSP()
 	} else {
@@ -163,7 +206,7 @@ func (m *master) run() {
 // ErrWorkerLost as any other collect.
 func (m *master) parkFleet(deadline time.Time) {
 	m.bcast(transport.Message{Kind: transport.Park, Round: m.epoch})
-	for got := 0; got < m.nw; {
+	for got := 0; got < m.activeCount(); {
 		msg, ok, timedOut := m.recv()
 		if !ok {
 			return
@@ -220,7 +263,7 @@ func (m *master) runBSP() {
 		collectStart := time.Now()
 		var sumDelta float64
 		anyDirty := false
-		for got := 0; got < m.nw; {
+		for got := 0; got < m.activeCount(); {
 			msg, ok, timedOut := m.recv()
 			if !ok {
 				return
@@ -300,6 +343,20 @@ func (m *master) runAsync() {
 	candArmed := false
 	var candSum float64
 	var candSent int64
+	// resetDetectors forgets all termination-detector state. Every
+	// membership fence zeroes the fleet's send/recv counters and may
+	// rewind or migrate state, so anything remembered from before the
+	// fence would compare a pre-fence world against a post-fence one.
+	// Both criteria are self-stabilising — stability must be observed
+	// twice and ε needs a fresh pair of aggregates — so a reset can only
+	// delay the stop decision, never corrupt it.
+	resetDetectors := func() {
+		prevStable = false
+		prevSum = math.NaN()
+		prevPasses = -1
+		candArmed = false
+	}
+	seen := make([]bool, len(m.live))
 	for round := 0; ; round++ {
 		m.rounds = round + 1
 		m.gRound++
@@ -307,13 +364,12 @@ func (m *master) runAsync() {
 			return
 		} else if restart {
 			// Forget the detector state a restarted master would lose.
-			// Both criteria are self-stabilising — stability must be
-			// observed twice and ε needs a fresh pair of aggregates — so
-			// the run can only stop later, never wrongly.
-			prevStable = false
-			prevSum = math.NaN()
-			prevPasses = -1
-			candArmed = false
+			resetDetectors()
+		}
+		if changed, aborted := m.pollMemberCmds(); aborted {
+			return
+		} else if changed {
+			resetDetectors()
 		}
 		if m.snapshotsDue(round) {
 			// Episodes are numbered by a cumulative counter so epochs stay
@@ -331,7 +387,11 @@ func (m *master) runAsync() {
 		var sent, recv, passes int64
 		var accSum float64
 		allIdle, anyDirty := true, false
-		for got := 0; got < m.nw; {
+		for j := range seen {
+			seen[j] = false
+		}
+		probed, recovered := false, false
+		for got := 0; got < m.activeCount(); {
 			msg, ok, timedOut := m.recv()
 			if !ok {
 				return
@@ -342,11 +402,41 @@ func (m *master) runAsync() {
 					m.bcast(transport.Message{Kind: transport.Stop})
 					return
 				}
+				if !probed {
+					// Second chance: a worker deep in a long compute pass
+					// only pumps its inbox at blocking points, so one
+					// missed deadline distinguishes nothing. Re-solicit
+					// the silent workers directly; only a second silence
+					// makes them lost.
+					probed = true
+					m.met.collectProbes.Inc()
+					for j, l := range m.live {
+						if l && !seen[j] {
+							m.sendTo(j, transport.Message{Kind: transport.StatsRequest, Round: round})
+						}
+					}
+					continue
+				}
+				if m.recoverLost(seen) {
+					// The fleet was repaired by a membership fence; this
+					// round's partial sums describe a world that no longer
+					// exists, so abandon them and poll afresh.
+					recovered = true
+					break
+				}
 				m.lost(round, got)
 				return
 			}
 			if msg.Kind != transport.StatsReply || msg.Round != round {
 				continue
+			}
+			if msg.From >= 0 && msg.From < len(seen) {
+				if seen[msg.From] {
+					// The probe re-solicited a reply that was merely slow;
+					// count each worker once.
+					continue
+				}
+				seen[msg.From] = true
 			}
 			got++
 			sent += msg.Stats.Sent
@@ -356,6 +446,10 @@ func (m *master) runAsync() {
 			allIdle = allIdle && msg.Stats.Idle
 			anyDirty = anyDirty || msg.Stats.Dirty
 		}
+		if recovered {
+			resetDetectors()
+			continue
+		}
 		m.met.collectWaitUS.Observe(uint64(time.Since(collectStart).Microseconds()))
 		stable := allIdle && sent == recv && !anyDirty
 		stop := false
@@ -363,7 +457,7 @@ func (m *master) runAsync() {
 			stop, m.converged = true, true
 		}
 		prevStable = stable
-		if eps > 0 && passes-prevPasses >= int64(m.nw) {
+		if eps > 0 && passes-prevPasses >= int64(m.activeCount()) {
 			if prevPasses >= 0 && !math.IsNaN(prevSum) && accSum != 0 &&
 				!candArmed && math.Abs(accSum-prevSum) < eps {
 				candArmed, candSum, candSent = true, accSum, sent
@@ -387,7 +481,7 @@ func (m *master) runAsync() {
 		// so the cap has the same meaning as a superstep limit. passBase
 		// rebases the watermark at each session park so every epoch gets
 		// the full budget (workers' pass counters run on across epochs).
-		if (passes-m.passBase)/int64(m.nw) >= int64(m.plan.Termination.MaxIters) || time.Now().After(deadline) {
+		if (passes-m.passBase)/int64(m.activeCount()) >= int64(m.plan.Termination.MaxIters) || time.Now().After(deadline) {
 			stop = true
 		}
 		if stop {

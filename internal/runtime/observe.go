@@ -90,6 +90,23 @@ type masterMetrics struct {
 	// collectTimeouts counts collects abandoned at the liveness deadline
 	// ("master.collect.timeout") — each one is an ErrWorkerLost.
 	collectTimeouts *metrics.Counter
+	// collectProbes counts second-chance re-solicitations: a collect's
+	// first deadline expiry re-polls the silent workers directly
+	// ("master.collect.probe") before declaring anyone lost, so a worker
+	// that is merely deep in a long compute pass is distinguished from a
+	// dead one.
+	collectProbes *metrics.Counter
+
+	// Membership counters (membership.go, DESIGN.md §11). memberJoins
+	// counts workers admitted through a fence — crash replacements and
+	// scale-out newcomers ("master.member.join"); memberOrphans counts
+	// orphan verdicts, crash and graceful ("master.member.orphan");
+	// memberHandoffUS is the per-event recovery/rebalance latency in
+	// microseconds ("master.member.handoff_us"), orphan-or-command to
+	// Release.
+	memberJoins     *metrics.Counter
+	memberOrphans   *metrics.Counter
+	memberHandoffUS *metrics.Histogram
 
 	// Session lifecycle counters (session.go, DESIGN.md §10). epochs
 	// counts fixpoints the session has converged ("engine.epoch");
@@ -109,6 +126,10 @@ func newMasterMetrics() masterMetrics {
 		rounds:          reg.Counter("master.round"),
 		collectWaitUS:   reg.Histogram("master.collect.wait_us"),
 		collectTimeouts: reg.Counter("master.collect.timeout"),
+		collectProbes:   reg.Counter("master.collect.probe"),
+		memberJoins:     reg.Counter("master.member.join"),
+		memberOrphans:   reg.Counter("master.member.orphan"),
+		memberHandoffUS: reg.Histogram("master.member.handoff_us"),
 		epochs:          reg.Counter("engine.epoch"),
 		reseedKeys:      reg.Counter("delta.reseed.keys"),
 		invalidateKeys:  reg.Counter("delete.invalidate.keys"),
@@ -146,6 +167,9 @@ func startMetricsDump(cfg Config, workers []*worker, m *master) *metricsDumper {
 			case now := <-t.C:
 				fmt.Fprintf(sink, "-- metrics @ %s --\n", now.Format("15:04:05.000"))
 				for _, w := range workers {
+					if w == nil { // unpopulated elastic capacity slot
+						continue
+					}
 					metrics.WriteText(sink, fmt.Sprintf("w%d", w.id), w.met.reg.Snapshot())
 				}
 				metrics.WriteText(sink, "master", m.met.reg.Snapshot())

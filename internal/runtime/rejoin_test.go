@@ -1,0 +1,397 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"powerlog/internal/edb"
+	"powerlog/internal/fault"
+	"powerlog/internal/gen"
+	"powerlog/internal/graph"
+	"powerlog/internal/progs"
+	"powerlog/internal/ref"
+)
+
+// The rejoin suite exercises the membership layer (membership.go,
+// DESIGN.md §11): a worker crashed mid-fixpoint is detected by the
+// master's liveness probe, replaced on a reset endpoint, and re-joined
+// through a membership fence — and the run still converges to the
+// fault-free fixpoint. The scale drills do the same for elastic
+// fleets: AddWorker/RemoveWorker mid-fixpoint and between fixpoints,
+// always compared against a static-fleet oracle.
+
+// rejoinModes are the modes with live re-join: the non-barriered MRA
+// family (the BSP verdict protocol has no fence point mid-superstep and
+// keeps the abort-on-loss behaviour).
+var rejoinModes = []Mode{MRAAsync, MRASyncAsync, MRASSP}
+
+// rejoinCfg keeps the collect deadline short so a silent worker is
+// probed and declared lost in milliseconds, not the MaxWall fallback.
+func rejoinCfg(mode Mode) Config {
+	return Config{
+		Workers:        4,
+		Mode:           mode,
+		Tau:            200 * time.Microsecond,
+		CheckInterval:  300 * time.Microsecond,
+		CollectTimeout: 250 * time.Millisecond,
+		MaxWall:        60 * time.Second,
+	}
+}
+
+// TestRejoinMatrix: every oracle algorithm × every non-barriered mode
+// with a worker crashed silently mid-fixpoint (crashw: no Stop
+// handshake, no final flush — the shard and its buffered updates die).
+// Selective programs recover by survivor replay into a reseeded
+// replacement (Theorem 3); combining programs rewind the fleet to the
+// ΔX¹ seed inside the fence (no mutations have been applied, so the
+// seed is the true initial state). Either way the final fixpoint must
+// be oracle-equal. -short runs the 4-algorithm subset.
+func TestRejoinMatrix(t *testing.T) {
+	for _, algo := range chaosAlgos() {
+		if testing.Short() && !algo.short {
+			continue
+		}
+		for _, mode := range rejoinModes {
+			t.Run(fmt.Sprintf("%s/%v", algo.name, mode), func(t *testing.T) {
+				db := edb.NewDB()
+				algo.setup(db)
+				plan := compilePlan(t, algo.src, db)
+				fs, err := fault.ParseSpec("seed=9,crashw=1:3")
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := rejoinCfg(mode)
+				cfg.Fault = fault.New(fs)
+				res, err := Run(plan, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Converged {
+					t.Fatalf("did not converge after crash re-join (rounds=%d)", res.Rounds)
+				}
+				if res.Master.Counters["master.member.join"] == 0 {
+					// The fixture beat pass 3 — the crash never fired. The
+					// oracle check below still holds, but note it.
+					t.Logf("converged before the injected crash pass")
+				}
+				algo.check(t, mode, res.Values)
+			})
+		}
+	}
+}
+
+// TestRejoinRecoveryCounters pins the observable recovery trail: one
+// orphan verdict, one admitted replacement, one handoff latency sample —
+// and a converged, oracle-equal result.
+func TestRejoinRecoveryCounters(t *testing.T) {
+	g := gen.Uniform(200, 1200, 50, 11)
+	want := ref.Dijkstra(g, 0)
+	db := edb.NewDB()
+	db.SetGraph("edge", g)
+	plan := compilePlan(t, progs.SSSP, db)
+	fs, err := fault.ParseSpec("seed=10,crashw=2:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rejoinCfg(MRASyncAsync)
+	cfg.Fault = fault.New(fs)
+	res, err := Run(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge after crash re-join")
+	}
+	c := res.Master.Counters
+	if c["master.member.orphan"] < 1 {
+		t.Errorf("master.member.orphan = %d, want >= 1", c["master.member.orphan"])
+	}
+	if c["master.member.join"] < 1 {
+		t.Errorf("master.member.join = %d, want >= 1", c["master.member.join"])
+	}
+	expectClose(t, MRASyncAsync, res.Values, want, math.Inf(1), 1e-9)
+}
+
+// TestRejoinSessionCombining drives a combining-aggregate session
+// (PageRank) through mutations with a worker crash injected mid-run and
+// park-boundary checkpoints on. Wherever the crash lands — the initial
+// fixpoint (no cut yet: fleet-wide seed reset) or a later Apply (rewind
+// to the park cut whose MutEpoch matches) — every epoch must still
+// converge to the scratch oracle.
+func TestRejoinSessionCombining(t *testing.T) {
+	p := sessionProgs[2] // PageRank
+	g := p.g()
+	n := g.NumVertices()
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	fs, err := fault.ParseSpec("seed=11,crashw=1:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rejoinCfg(MRASyncAsync)
+	cfg.SnapshotDir = t.TempDir()
+	cfg.SnapshotEvery = 1 << 30 // park checkpoints only: no mid-fixpoint episodes
+	cfg.Fault = fault.New(fs)
+	s, err := Open(compilePlan(t, p.src, p.db(g)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.Result().Converged {
+		t.Fatal("initial fixpoint did not converge")
+	}
+	oracleCfg := rejoinCfg(MRASyncAsync)
+	r := rand.New(rand.NewSource(331))
+	for i := 0; i < 2; i++ {
+		var mut Mutation
+		mut, edges = randMutation(r, edges, n, 6, 6, false, p.insW)
+		res, err := s.Apply(mut)
+		if err != nil {
+			t.Fatalf("Apply %d: %v", i, err)
+		}
+		if !res.Converged {
+			t.Fatalf("Apply %d did not converge", i)
+		}
+		want := scratchFixpoint(t, p, n, edges, g.Weighted(), oracleCfg)
+		expectSameFixpoint(t, fmt.Sprintf("apply-%d", i), res.Values, want, p.ident, p.tol)
+	}
+}
+
+// TestShardRouteRing pins the consistent-hash ring's contract: two
+// workers derive the identical routing from the same membership, every
+// member owns a share, and a membership change moves only the key
+// ranges touching the changed member — scale-out moves keys exclusively
+// TO the newcomer, scale-in moves exclusively the leaver's keys.
+func TestShardRouteRing(t *testing.T) {
+	cfg := Config{Workers: 4, Elastic: true, MaxWorkers: 8}
+	a, b := newShardRoute(cfg), newShardRoute(cfg)
+	const nKeys = 20000
+	ownedBy := make(map[int]int)
+	before := make([]int, nKeys)
+	for k := int64(0); k < nKeys; k++ {
+		o := a.owner(k)
+		if o != b.owner(k) {
+			t.Fatalf("routes disagree on key %d: %d vs %d", k, o, b.owner(k))
+		}
+		before[k] = o
+		ownedBy[o]++
+	}
+	for j := 0; j < 4; j++ {
+		if ownedBy[j] == 0 {
+			t.Fatalf("member %d owns no keys out of %d", j, nKeys)
+		}
+	}
+
+	a.add(4)
+	movedIn := 0
+	for k := int64(0); k < nKeys; k++ {
+		o := a.owner(k)
+		if o != before[k] && o != 4 {
+			t.Fatalf("scale-out moved key %d from %d to %d (not the newcomer)", k, before[k], o)
+		}
+		if o == 4 {
+			movedIn++
+		}
+		before[k] = o
+	}
+	if movedIn == 0 {
+		t.Fatal("scale-out moved no keys to the newcomer")
+	}
+
+	a.remove(2)
+	for k := int64(0); k < nKeys; k++ {
+		o := a.owner(k)
+		if before[k] != 2 && o != before[k] {
+			t.Fatalf("scale-in of member 2 moved key %d owned by %d to %d", k, before[k], o)
+		}
+		if o == 2 {
+			t.Fatalf("key %d still routed to removed member 2", k)
+		}
+	}
+}
+
+// TestElasticScaleParked drives the synchronous scale path: AddWorker
+// and RemoveWorker against a parked fleet (the session goroutine fences
+// directly; workers join from their parked inbox wait), with an Apply
+// after each change checked against the static oracle.
+func TestElasticScaleParked(t *testing.T) {
+	p := sessionProgs[0] // SSSP
+	g := p.g()
+	n := g.NumVertices()
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	cfg := rejoinCfg(MRASyncAsync)
+	cfg.Workers = 3
+	cfg.Elastic = true
+	cfg.MaxWorkers = 6
+	s, err := Open(compilePlan(t, p.src, p.db(g)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.Result().Converged {
+		t.Fatal("initial fixpoint did not converge")
+	}
+	oracleCfg := rejoinCfg(MRASyncAsync)
+	r := rand.New(rand.NewSource(443))
+
+	id, err := s.AddWorker()
+	if err != nil {
+		t.Fatalf("AddWorker (parked): %v", err)
+	}
+	if id != 3 {
+		t.Fatalf("AddWorker slot = %d, want 3 (first free)", id)
+	}
+	var mut Mutation
+	mut, edges = randMutation(r, edges, n, 8, 8, false, p.insW)
+	res, err := s.Apply(mut)
+	if err != nil {
+		t.Fatalf("Apply after scale-out: %v", err)
+	}
+	want := scratchFixpoint(t, p, n, edges, true, oracleCfg)
+	expectSameFixpoint(t, "after-add", res.Values, want, p.ident, p.tol)
+
+	if err := s.RemoveWorker(1); err != nil {
+		t.Fatalf("RemoveWorker (parked): %v", err)
+	}
+	mut, edges = randMutation(r, edges, n, 8, 8, false, p.insW)
+	res, err = s.Apply(mut)
+	if err != nil {
+		t.Fatalf("Apply after scale-in: %v", err)
+	}
+	want = scratchFixpoint(t, p, n, edges, true, oracleCfg)
+	expectSameFixpoint(t, "after-remove", res.Values, want, p.ident, p.tol)
+}
+
+// TestElasticScaleMidFixpoint issues membership commands from another
+// goroutine while an Apply's fixpoint is running: the master fences
+// them in between poll rounds without restarting the fixpoint. The
+// command may also land after the epoch converged (the fixpoint was
+// faster than the sleep) — then it is either rejected by the drain or
+// applied against the parked fleet; every outcome must leave the
+// session oracle-equal.
+func TestElasticScaleMidFixpoint(t *testing.T) {
+	p := sessionProgs[0] // SSSP
+	g := p.g()
+	n := g.NumVertices()
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	fs, err := fault.ParseSpec("seed=12,stall=2:200us") // lengthen the fixpoint
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rejoinCfg(MRASyncAsync)
+	cfg.Workers = 3
+	cfg.Elastic = true
+	cfg.MaxWorkers = 6
+	cfg.Fault = fault.New(fs)
+	s, err := Open(compilePlan(t, p.src, p.db(g)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	oracleCfg := rejoinCfg(MRASyncAsync)
+	r := rand.New(rand.NewSource(557))
+
+	// Scale-out racing the re-fixpoint.
+	addDone := make(chan error, 1)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		_, err := s.AddWorker()
+		addDone <- err
+	}()
+	var mut Mutation
+	mut, edges = randMutation(r, edges, n, 12, 12, false, p.insW)
+	res, err := s.Apply(mut)
+	if err != nil {
+		t.Fatalf("Apply during scale-out: %v", err)
+	}
+	if aerr := <-addDone; aerr != nil && !strings.Contains(aerr.Error(), "fixpoint ended") {
+		t.Fatalf("AddWorker (mid-fixpoint): %v", aerr)
+	}
+	want := scratchFixpoint(t, p, n, edges, true, oracleCfg)
+	expectSameFixpoint(t, "midrun-add", res.Values, want, p.ident, p.tol)
+
+	// Scale-in racing the next re-fixpoint.
+	rmDone := make(chan error, 1)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		rmDone <- s.RemoveWorker(0)
+	}()
+	mut, edges = randMutation(r, edges, n, 12, 12, false, p.insW)
+	res, err = s.Apply(mut)
+	if err != nil {
+		t.Fatalf("Apply during scale-in: %v", err)
+	}
+	if rerr := <-rmDone; rerr != nil && !strings.Contains(rerr.Error(), "fixpoint ended") {
+		t.Fatalf("RemoveWorker (mid-fixpoint): %v", rerr)
+	}
+	want = scratchFixpoint(t, p, n, edges, true, oracleCfg)
+	expectSameFixpoint(t, "midrun-remove", res.Values, want, p.ident, p.tol)
+
+	// One more quiet epoch: the fleet must still re-fixpoint normally
+	// after both scale events.
+	mut, edges = randMutation(r, edges, n, 6, 6, false, p.insW)
+	res, err = s.Apply(mut)
+	if err != nil {
+		t.Fatalf("Apply after scale events: %v", err)
+	}
+	want = scratchFixpoint(t, p, n, edges, true, oracleCfg)
+	expectSameFixpoint(t, "post-scale", res.Values, want, p.ident, p.tol)
+}
+
+// TestElasticConfigRejected pins the configuration surface: Elastic
+// needs a non-barriered MRA mode, MaxWorkers must cover the initial
+// fleet, membership commands need Config.Elastic, and a full fleet
+// rejects further growth.
+func TestElasticConfigRejected(t *testing.T) {
+	p := sessionProgs[0]
+	plan := compilePlan(t, p.src, p.db(p.g()))
+
+	for _, mode := range []Mode{MRASync, NaiveSync} {
+		cfg := sessCfg(mode)
+		cfg.Elastic = true
+		if _, err := Open(plan, cfg); err == nil || !strings.Contains(err.Error(), "Elastic") {
+			t.Errorf("Open(Elastic, %v): err = %v, want an Elastic mode rejection", mode, err)
+		}
+	}
+
+	var ce *ConfigError
+	err := Config{Workers: 4, Elastic: true, MaxWorkers: 2}.Validate()
+	if !errors.As(err, &ce) || ce.Field != "MaxWorkers" {
+		t.Errorf("MaxWorkers below Workers: err = %v, want ConfigError{MaxWorkers}", err)
+	}
+
+	s, err := Open(plan, sessCfg(MRASyncAsync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddWorker(); err == nil || !strings.Contains(err.Error(), "Elastic") {
+		t.Errorf("AddWorker without Elastic: err = %v", err)
+	}
+	if err := s.RemoveWorker(0); err == nil || !strings.Contains(err.Error(), "Elastic") {
+		t.Errorf("RemoveWorker without Elastic: err = %v", err)
+	}
+	s.Close()
+
+	cfg := rejoinCfg(MRASyncAsync)
+	cfg.Workers = 2
+	cfg.Elastic = true
+	cfg.MaxWorkers = 3
+	s, err = Open(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if id, err := s.AddWorker(); err != nil || id != 2 {
+		t.Fatalf("AddWorker to capacity: id=%d err=%v", id, err)
+	}
+	if _, err := s.AddWorker(); err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Errorf("AddWorker past MaxWorkers: err = %v, want a capacity rejection", err)
+	}
+	if err := s.RemoveWorker(7); err == nil || !strings.Contains(err.Error(), "not a member") {
+		t.Errorf("RemoveWorker(7): err = %v, want a membership rejection", err)
+	}
+}

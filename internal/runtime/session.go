@@ -2,7 +2,9 @@ package runtime
 
 import (
 	"fmt"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"powerlog/internal/ckpt"
@@ -67,6 +69,20 @@ type Session struct {
 	prevSent, prevRecv, prevFlush int64
 
 	ckptEpoch int // monotone stamp for park-boundary checkpoints
+
+	// Membership state (membership.go, DESIGN.md §11). workers is sized
+	// to the fleet capacity; slots beyond the initial fleet (and retired
+	// slots) are nil. fenceRelease holds the checkpoint read lease a
+	// combining-aggregate crash recovery takes between choosing a
+	// rollback epoch and the fleet finishing its reload; released at the
+	// fence's Release. scaled records that the membership has changed at
+	// least once, which invalidates checkpoints written under the old
+	// ownership ring. running marks an in-flight m.run so AddWorker /
+	// RemoveWorker from another goroutine know to queue their command
+	// instead of driving the fence directly.
+	fenceRelease func()
+	scaled       bool
+	running      atomic.Bool
 }
 
 // Open compiles nothing — the plan is already compiled — but stands up
@@ -93,6 +109,10 @@ func Open(plan *compiler.Plan, cfg Config) (*Session, error) {
 	if !cfg.Mode.MRA() && len(plan.BaseNaive) == 0 {
 		return nil, fmt.Errorf("runtime: naive evaluation has no base tuples to derive from")
 	}
+	if cfg.Elastic && (!cfg.Mode.MRA() || modeBarriered[cfg.Mode]) {
+		return nil, fmt.Errorf("runtime: Elastic membership needs a non-barriered MRA mode " +
+			"(the BSP verdict protocol has no fence point mid-superstep)")
+	}
 	cfg = applyPriorityDefault(cfg, plan)
 
 	// Load any restore state before standing up goroutines, so a
@@ -112,9 +132,13 @@ func Open(plan *compiler.Plan, cfg Config) (*Session, error) {
 		restoreRows, restoreMeta, restoring = rows, meta, true
 	}
 
-	net := transport.NewChannelNetwork(cfg.Workers, 4096)
-	workers := make([]*worker, cfg.Workers)
-	for i := range workers {
+	// The network (and the workers slice) is provisioned to the fleet's
+	// capacity so scale-out only has to populate a pre-existing slot; on
+	// static fleets fleetCap() == Workers and the master endpoint index
+	// is unchanged.
+	net := transport.NewChannelNetwork(cfg.fleetCap(), 4096)
+	workers := make([]*worker, cfg.fleetCap())
+	for i := 0; i < cfg.Workers; i++ {
 		// Fault.Wrap is a no-op passthrough when no injector is set.
 		workers[i] = newWorker(i, cfg, plan, cfg.Fault.Wrap(net.Conn(i)))
 	}
@@ -134,16 +158,16 @@ func Open(plan *compiler.Plan, cfg Config) (*Session, error) {
 	if cfg.Mode.MRA() {
 		switch {
 		case restoring && restoreMeta.Cut:
-			for _, w := range workers {
+			for _, w := range workers[:cfg.Workers] {
 				w.restore(restoreRows)
 			}
 		case restoring:
-			for _, w := range workers {
+			for _, w := range workers[:cfg.Workers] {
 				w.seed(plan.InitMRA)
 				w.restoreStale(restoreRows)
 			}
 		default:
-			for _, w := range workers {
+			for _, w := range workers[:cfg.Workers] {
 				w.seed(plan.InitMRA)
 			}
 		}
@@ -151,7 +175,7 @@ func Open(plan *compiler.Plan, cfg Config) (*Session, error) {
 			// Resume the mutation-log position the snapshot incorporates:
 			// the caller replays its trailing log entries through Apply.
 			s.mutEpoch = restoreMeta.MutEpoch
-			for _, w := range workers {
+			for _, w := range workers[:cfg.Workers] {
 				w.mutEpoch = restoreMeta.MutEpoch
 			}
 		}
@@ -162,21 +186,42 @@ func Open(plan *compiler.Plan, cfg Config) (*Session, error) {
 		}
 	}
 
-	s.m = newMaster(cfg, plan, net.Conn(transport.MasterID(cfg.Workers)))
+	s.m = newMaster(cfg, plan, net.Conn(transport.MasterID(cfg.fleetCap())))
 	// Naive evaluation cannot park: its fixpoint is a full re-derivation,
 	// so the initial run goes to completion and Apply stays rejected.
 	s.m.park = cfg.Mode.MRA()
-	s.dump = startMetricsDump(cfg, workers, s.m)
+	// Membership: the non-barriered MRA modes get live re-join (a lost
+	// worker is replaced through a fence instead of aborting the run);
+	// elastic fleets additionally accept AddWorker/RemoveWorker commands.
+	// The callbacks all run on the goroutine executing m.run — this one —
+	// so they touch session state freely.
+	if cfg.Mode.MRA() && !modeBarriered[cfg.Mode] {
+		s.m.member = &memberCoordinator{
+			spawn:    s.respawnWorker,
+			admit:    s.admitWorker,
+			retire:   s.retireWorker,
+			released: s.fenceReleased,
+		}
+	}
+	if cfg.Elastic {
+		s.m.cmds = make(chan memberCmd, 8)
+	}
+	// The dump goroutine gets its own copy: membership changes swap
+	// entries of s.workers while it reads (it keeps reporting the fleet
+	// it was started with; replacements surface in the final Result).
+	s.dump = startMetricsDump(cfg, slices.Clone(workers), s.m)
 
 	start := time.Now()
-	for _, w := range workers {
+	for _, w := range workers[:cfg.Workers] {
 		s.wg.Add(1)
 		go func(w *worker) {
 			defer s.wg.Done()
 			w.run()
 		}(w)
 	}
+	s.running.Store(true)
 	s.m.run()
+	s.running.Store(false)
 	res, err := s.finishEpoch(start)
 	if err != nil {
 		// Transport death or a lost worker: nothing to resume — tear
@@ -230,6 +275,9 @@ func (s *Session) Apply(mut Mutation) (*Result, error) {
 		inR := refix.InvalidateLo
 		var doomed []int64
 		for _, w := range s.workers {
+			if w == nil {
+				continue
+			}
 			doomed = doomed[:0]
 			w.table.RangeRows(func(k int64, _, _ float64) bool {
 				lo := k
@@ -249,21 +297,29 @@ func (s *Session) Apply(mut Mutation) (*Result, error) {
 		}
 	}
 
-	// Reseed: fold the correction ΔX¹ into the owners' shards. The folds
-	// mark the rows dirty, which is exactly the next epoch's frontier.
-	for _, kv := range refix.Reseed {
-		s.workers[graph.Partition(kv.K, len(s.workers))].table.FoldDelta(kv.K, kv.V)
+	// Reseed: fold the correction ΔX¹ into the owners' shards (current
+	// membership's routing — after a scale event the owner may not be the
+	// static modulo slot). The folds mark the rows dirty, which is
+	// exactly the next epoch's frontier.
+	if route := s.liveRoute(); route != nil {
+		for _, kv := range refix.Reseed {
+			s.workers[route.owner(kv.K)].table.FoldDelta(kv.K, kv.V)
+		}
 	}
 	s.m.met.reseedKeys.Add(uint64(len(refix.Reseed)))
 
 	// Stamp the new mutation-log position into the workers (their
 	// mid-fixpoint snapshots carry it) and write the park-boundary
 	// checkpoint: a consistent view of "mutation applied, re-fixpoint
-	// pending" that restores by simply running to convergence.
+	// pending" that restores by simply running to convergence. Elastic
+	// fleets skip the checkpoint: its per-slot shards are only restorable
+	// under the ownership ring they were written with.
 	for _, w := range s.workers {
-		w.mutEpoch = s.mutEpoch
+		if w != nil {
+			w.mutEpoch = s.mutEpoch
+		}
 	}
-	if s.cfg.SnapshotDir != "" {
+	if s.cfg.SnapshotDir != "" && !s.cfg.Elastic {
 		s.writeParkCheckpoint()
 	}
 
@@ -271,7 +327,9 @@ func (s *Session) Apply(mut Mutation) (*Result, error) {
 	s.engEpoch++
 	s.m.epoch = s.engEpoch
 	s.m.bcast(transport.Message{Kind: transport.EpochStart, Round: s.engEpoch})
+	s.running.Store(true)
 	s.m.run()
+	s.running.Store(false)
 	res, err := s.finishEpoch(start)
 	if err != nil {
 		s.fail(err)
@@ -295,11 +353,26 @@ func (s *Session) Apply(mut Mutation) (*Result, error) {
 // shards. Only sound while the fleet is parked.
 func (s *Session) rangeAcc(f func(key int64, acc float64)) {
 	for _, w := range s.workers {
+		if w == nil {
+			continue
+		}
 		w.table.Range(func(k int64, v float64) bool {
 			f(k, v)
 			return true
 		})
 	}
+}
+
+// liveRoute returns a current member's route — every member holds an
+// identical one after a fence, so any will do for session-side routing
+// decisions (Apply reseeds). nil only if the fleet is empty.
+func (s *Session) liveRoute() *shardRoute {
+	for _, w := range s.workers {
+		if w != nil && !w.retired {
+			return w.route
+		}
+	}
+	return nil
 }
 
 // finishEpoch classifies how m.run() ended. It returns an error only
@@ -315,7 +388,7 @@ func (s *Session) finishEpoch(start time.Time) (*Result, error) {
 		s.wg.Wait()
 		s.fleetDown = true
 		for _, w := range s.workers {
-			if w.sendErr != nil {
+			if w != nil && w.sendErr != nil {
 				return nil, fmt.Errorf("runtime: worker %d send failed: %w", w.id, w.sendErr)
 			}
 		}
@@ -339,6 +412,9 @@ func (s *Session) collect(elapsed time.Duration) *Result {
 	}
 	var sent, recv, flushes int64
 	for _, w := range s.workers {
+		if w == nil {
+			continue
+		}
 		sent += w.sent
 		recv += w.recv
 		flushes += w.flushes
@@ -367,6 +443,9 @@ func (s *Session) writeParkCheckpoint() {
 	cut := modeBarriered[s.cfg.Mode] || !s.plan.Op.Selective()
 	e := s.ckptEpoch + 1
 	for _, w := range s.workers {
+		if w == nil {
+			continue
+		}
 		if w.rounds >= e {
 			e = w.rounds + 1
 		}
@@ -382,6 +461,9 @@ func (s *Session) writeParkCheckpoint() {
 	}
 	s.ckptEpoch = e
 	for _, w := range s.workers {
+		if w == nil {
+			continue
+		}
 		var rows []ckpt.Row
 		w.table.RangeRows(func(k int64, acc, inter float64) bool {
 			rows = append(rows, ckpt.Row{Key: k, Acc: acc, Inter: inter})
@@ -410,8 +492,212 @@ func (s *Session) fail(err error) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Membership lifecycle (membership.go, DESIGN.md §11). These callbacks
+// run on the goroutine executing m.run — the session goroutine — so
+// they access session state without locks.
+// ---------------------------------------------------------------------
+
+// spawnInto stands up a fresh worker in slot id on a reset transport
+// endpoint, gated on the admission fence. The endpoint reset fences off
+// the slot's previous incarnation (a stale conn can no longer send) and
+// gives the replacement a clean inbox that never saw its own Orphan.
+func (s *Session) spawnInto(id int) *worker {
+	conn := s.net.ResetConn(id)
+	w := newWorker(id, s.cfg, s.plan, s.cfg.Fault.Wrap(conn))
+	w.joinGate = true
+	w.reborn = true // a crashw= injection must not kill the replacement too
+	w.mutEpoch = s.mutEpoch
+	w.curEpoch = s.engEpoch
+	w.epochGo = s.engEpoch
+	w.staleEpoch = s.ckptEpoch
+	if s.m.parked {
+		// Spawned between fixpoints: park right after admission instead
+		// of computing into a parked fleet.
+		w.parkEpoch = s.engEpoch
+	}
+	if s.cfg.Elastic {
+		// Adopt the current membership (a scale-out newcomer is absent
+		// from it here; it adds itself at the fence, like every survivor).
+		w.route.set(s.m.live)
+	}
+	s.workers[id] = w
+	return w
+}
+
+func (s *Session) startSpawned(w *worker) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		w.run()
+	}()
+}
+
+// respawnWorker replaces crashed worker id and picks the fence's
+// rollback directive (see worker.repairState): selective aggregates keep
+// state and replay (warm-starting the replacement from its newest
+// own-shard snapshot when one matches the mutation epoch); combining
+// aggregates rewind the fleet to the newest consistent cut, or to the
+// ΔX¹ seed when no cut exists but no mutations have been applied either.
+// ok=false falls back to the abort path: combining with no usable cut
+// after mutations (the seed is no longer the true initial state), or any
+// combining loss after a scale event (checkpoint shards are only
+// restorable under the ownership ring they were written with).
+func (s *Session) respawnWorker(id int) (int64, bool) {
+	rollback := int64(0)
+	var warm []ckpt.Row
+	if !s.plan.Op.Selective() {
+		if s.scaled {
+			return 0, false
+		}
+		switch {
+		case s.cfg.SnapshotDir == "":
+			if s.mutEpoch != 0 {
+				return 0, false
+			}
+			rollback = -1
+		default:
+			if s.fenceRelease == nil {
+				// Pin the checkpoint directory across the fence so the
+				// epoch chosen here cannot be pruned before the last
+				// worker reloads it.
+				if rel, err := ckpt.AcquireReadLease(s.cfg.SnapshotDir); err == nil {
+					s.fenceRelease = rel
+				}
+			}
+			_, meta, err := ckpt.LoadAll(s.cfg.SnapshotDir)
+			switch {
+			case err == nil && meta.Cut && meta.MutEpoch == s.mutEpoch:
+				rollback = int64(meta.Epoch)
+			case s.mutEpoch == 0:
+				rollback = -1
+			default:
+				s.fenceReleased()
+				return 0, false
+			}
+		}
+	} else if s.cfg.SnapshotDir != "" {
+		if rows, meta, err := ckpt.NewestShard(s.cfg.SnapshotDir, id); err == nil && meta.MutEpoch == s.mutEpoch {
+			warm = rows
+		}
+	}
+	w := s.spawnInto(id)
+	if rollback == 0 {
+		// Selective: seed the replacement's share of ΔX¹ and shortcut
+		// re-derivation with the warm shard (folded as plain deltas —
+		// Theorem 3 makes stale state safe). Survivors replay boundary
+		// contributions at the fence; the rest re-derives locally.
+		w.seed(s.plan.InitMRA)
+		if warm != nil {
+			w.restoreStale(warm)
+		}
+	}
+	s.startSpawned(w)
+	return rollback, true
+}
+
+// admitWorker stands up a brand-new worker for scale-out. It gets no
+// seed: every row it will own under the new ring lives in a survivor's
+// shard and arrives through the fence's Handoff migration (re-seeding
+// would double-count combining aggregates).
+func (s *Session) admitWorker(id int) bool {
+	if s.fleetDown || s.workers[id] != nil {
+		return false
+	}
+	s.scaled = true
+	s.startSpawned(s.spawnInto(id))
+	return true
+}
+
+// retireWorker drops a slot after scale-in: the worker retired itself at
+// the fence (migrated its shard out, then stopped).
+func (s *Session) retireWorker(id int) {
+	s.scaled = true
+	s.workers[id] = nil
+}
+
+// fenceReleased runs after every successful fence (and on recovery
+// bail-out): drop the checkpoint read lease and rebase the per-epoch
+// traffic baselines — the fence zeroed the fleet's counters.
+func (s *Session) fenceReleased() {
+	if s.fenceRelease != nil {
+		s.fenceRelease()
+		s.fenceRelease = nil
+	}
+	s.prevSent, s.prevRecv, s.prevFlush = 0, 0, 0
+}
+
+// AddWorker grows an elastic fleet by one worker and returns its slot
+// id. While a fixpoint is running (Open/Apply in flight on the session
+// goroutine) it may be called from any other goroutine: the command is
+// queued and the master fences it in between poll rounds. With the
+// fleet parked it must be called from the session goroutine, which
+// drives the fence directly. Requires Config.Elastic.
+func (s *Session) AddWorker() (int, error) {
+	return s.memberChange(memberCmd{add: true})
+}
+
+// RemoveWorker retires worker id from an elastic fleet, migrating its
+// shard to the survivors. Concurrency contract as AddWorker.
+func (s *Session) RemoveWorker(id int) error {
+	_, err := s.memberChange(memberCmd{id: id})
+	return err
+}
+
+func (s *Session) memberChange(cmd memberCmd) (int, error) {
+	if !s.cfg.Elastic {
+		return -1, fmt.Errorf("runtime: membership changes need Config.Elastic")
+	}
+	cmd.reply = make(chan memberCmdResult, 1)
+	if s.running.Load() {
+		select {
+		case s.m.cmds <- cmd:
+		default:
+			return -1, fmt.Errorf("runtime: membership command queue is full")
+		}
+		select {
+		case r := <-cmd.reply:
+			return r.id, r.err
+		case <-time.After(s.cfg.MaxWall + 5*time.Second):
+			// m.run's deferred drain rejects queued commands, so this only
+			// fires if the master itself wedged past its own wall clock.
+			return -1, fmt.Errorf("runtime: membership change timed out")
+		}
+	}
+	// Parked fleet: the caller is (by the Session contract) the session
+	// goroutine, so drive the fence synchronously. Workers join it from
+	// their parked inbox wait.
+	if s.closed {
+		return -1, fmt.Errorf("runtime: session is closed")
+	}
+	if s.err != nil {
+		return -1, s.err
+	}
+	if s.fleetDown {
+		return -1, fmt.Errorf("runtime: session fleet is stopped")
+	}
+	if !s.m.applyMemberCmd(cmd) {
+		s.fail(s.m.err)
+	}
+	r := <-cmd.reply
+	if cmd.add && r.err == nil && !s.fleetDown {
+		// The newcomer still has to complete its park handshake against
+		// the parked survivors; only after its ParkDone is the fleet
+		// quiescent for the next Apply's table reads and writes.
+		if !s.m.awaitParkDone(r.id) {
+			s.fail(s.m.err)
+			return r.id, s.err
+		}
+	}
+	return r.id, r.err
+}
+
 // teardown releases everything; used by Open's error path and Close.
 func (s *Session) teardown() {
+	if s.fenceRelease != nil {
+		s.fenceRelease()
+		s.fenceRelease = nil
+	}
 	if !s.fleetDown {
 		s.m.bcast(transport.Message{Kind: transport.Stop})
 		s.wg.Wait()
@@ -431,7 +717,7 @@ func (s *Session) Close() error {
 	}
 	s.teardown()
 	for _, w := range s.workers {
-		if w.sendErr != nil {
+		if w != nil && w.sendErr != nil {
 			return fmt.Errorf("runtime: worker %d send failed: %w", w.id, w.sendErr)
 		}
 	}

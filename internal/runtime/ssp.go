@@ -56,8 +56,10 @@ func (b *sspBarrier) beginPass(w *worker) bool { return w.drainInbox() }
 func (b *sspBarrier) endPass(w *worker, progressed bool) bool {
 	// A superstep boundary is SSP's snapshot safe point: join a pending
 	// marker episode (combining aggregates) or write a local stale
-	// snapshot (selective aggregates, Theorem 3).
+	// snapshot (selective aggregates, Theorem 3) — and the membership
+	// safe point: join a pending fence (membership.go).
 	w.maybeSnapshot()
+	w.maybeJoinFence()
 	if !progressed {
 		if w.pol.sched.release() {
 			// §5.4: held low-priority deltas are used when the worker
@@ -98,17 +100,30 @@ func (b *sspBarrier) advance(w *worker) {
 	w.maybeStaleSnapshot(b.steps)
 }
 
-// minPeerSteps / maxPeerSteps scan the EndPhase vector clock.
+// minPeerSteps / maxPeerSteps scan the EndPhase vector clock, skipping
+// crash-orphaned and non-member slots — the skip is what unwedges a
+// gated worker blocked on a dead peer's frozen clock once the Orphan
+// verdict lands.
 func (w *worker) minPeerSteps() int {
 	first := true
 	least := 0
+	skipped := false
 	for j, s := range w.peerSteps {
 		if j == w.id {
+			continue
+		}
+		if w.peerSkip(j) {
+			skipped = true
 			continue
 		}
 		if first || s < least {
 			least, first = s, false
 		}
+	}
+	if first && skipped {
+		// Peers exist but every one is down or outside the membership:
+		// nothing to gate on (the fence, not the gate, synchronises next).
+		return maxSteps
 	}
 	return least
 }
@@ -116,7 +131,7 @@ func (w *worker) minPeerSteps() int {
 func (w *worker) maxPeerSteps() int {
 	most := 0
 	for j, s := range w.peerSteps {
-		if j != w.id && s > most {
+		if !w.peerSkip(j) && s > most {
 			most = s
 		}
 	}
@@ -151,6 +166,10 @@ func (b *sspBarrier) awaitPeerSteps(w *worker, need int) {
 			}
 			w.handle(m)
 			w.maybeSnapshot()
+			// A membership fence requested while gated is joined inline
+			// for the same reason as an episode: peers mid-fence wait for
+			// this worker's cut marker.
+			w.maybeJoinFence()
 		case <-time.After(markerResend):
 			w.met.markerResends.Inc()
 			w.broadcastEndPhase(b.steps)

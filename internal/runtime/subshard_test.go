@@ -259,8 +259,13 @@ func standaloneWorker(t *testing.T, plan *compiler.Plan, cfg Config) *worker {
 // parallel pass — dirty the whole shard, fan out over 4 cores, drain,
 // fold, propagate, merge — must not allocate. Per-core key/drain
 // slices, outBufs, and the pre-bound closures are all reused; the two
-// warm-up calls grow them to steady-state capacity (and spawn the pool
-// goroutines) before AllocsPerRun measures.
+// warm-up calls spawn the pool goroutines, and the buffers of every
+// core are then grown to full-shard capacity by hand: AllocsPerRun
+// pins GOMAXPROCS to 1 while it measures, and at one proc the owner
+// core usually steals the whole deal before the parked cores wake, so
+// warm-up alone leaves cores 1..P-1 cold — a measured run where one of
+// them does win a steal would then charge its one-time slice growth to
+// the steady state.
 func TestParallelScanAllocFree(t *testing.T) {
 	db := edb.NewDB()
 	g := gen.RMAT(12, 30000, 0, 7) // 4096 vertices -> 8 Dense subshard lines
@@ -285,6 +290,14 @@ func TestParallelScanAllocFree(t *testing.T) {
 	body()
 	if got := w.met.parallelPasses.Load(); got == 0 {
 		t.Fatal("warm-up passes did not take the parallel path")
+	}
+	for _, c := range w.scan.cores {
+		if cap(c.keys) < int(n) {
+			c.keys = make([]int64, 0, n)
+		}
+		if cap(c.drainBuf) < int(n) {
+			c.drainBuf = make([]drained, 0, n)
+		}
 	}
 	if allocs := testing.AllocsPerRun(5, body); allocs != 0 {
 		t.Fatalf("parallel scan pass allocates %v/run, want 0", allocs)

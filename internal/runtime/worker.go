@@ -8,7 +8,6 @@ import (
 	"powerlog/internal/agg"
 	"powerlog/internal/ckpt"
 	"powerlog/internal/compiler"
-	"powerlog/internal/graph"
 	"powerlog/internal/monotable"
 	"powerlog/internal/transport"
 )
@@ -124,6 +123,34 @@ type worker struct {
 	sendDead atomic.Bool
 
 	stragglerWait time.Duration // SSP: total time blocked on stale peers
+
+	// Membership state (membership.go, DESIGN.md §11). master is this
+	// fleet's master endpoint (the capacity network's last slot — NOT
+	// w.nw on elastic fleets). route maps keys to owners: static modulo
+	// for fixed fleets, a consistent-hash ring under Config.Elastic.
+	// down marks crash-orphaned slots (flushes suppressed, peer-minimum
+	// scans skip them) and leaving marks slots retiring at the next
+	// fence. The join* fields mirror the snapshot-episode state for
+	// membership fences: the latest requested fence epoch with its
+	// rollback directive and admitted slot, the per-peer cut-marker
+	// vectors (joinMarks fences pre-fence data, joinMarks2 fences the
+	// migration Handoffs — see runJoinFence), the last completed fence,
+	// and the latest Release.
+	master       int
+	route        *shardRoute
+	down         []bool
+	leaving      []bool
+	joinReqEpoch int
+	joinRollback int64
+	joinAdmit    int
+	joinDone     int
+	joinMarks    []int
+	joinMarks2   []int
+	releaseEpoch int
+	joinGate     bool // spawned mid-run: gate the compute loop on admission
+	crashed      bool // fault injection: this worker died silently
+	reborn       bool // replacement spawned by the session (immune to crashw=)
+	retired      bool // scale-in: this worker left at a fence
 }
 
 type outMsg struct {
@@ -157,6 +184,10 @@ func (b *backoff) wait() {
 func (b *backoff) reset() { b.n = 0 }
 
 func newWorker(id int, cfg Config, plan *compiler.Plan, conn transport.Conn) *worker {
+	// Per-peer state is sized to the fleet's capacity, not its initial
+	// size, so scale-out never needs to regrow link state mid-run. For
+	// static fleets fleetCap() == Workers and nothing changes.
+	fleet := cfg.fleetCap()
 	w := &worker{
 		id:   id,
 		nw:   cfg.Workers,
@@ -168,20 +199,28 @@ func newWorker(id int, cfg Config, plan *compiler.Plan, conn transport.Conn) *wo
 		outCtrl:  make(chan outMsg, 64),
 		commDone: make(chan struct{}),
 
-		bufs:      make([]*outBuf, cfg.Workers),
-		lastFlush: make([]time.Time, cfg.Workers),
-		peerSteps: make([]int, cfg.Workers),
-		snapMarks: make([]int, cfg.Workers),
-		parkMarks: make([]int, cfg.Workers),
+		bufs:      make([]*outBuf, fleet),
+		lastFlush: make([]time.Time, fleet),
+		peerSteps: make([]int, fleet),
+		snapMarks: make([]int, fleet),
+		parkMarks: make([]int, fleet),
 		curEpoch:  1,
-		dataSeq:   make([]int64, cfg.Workers),
-		dataSeen:  make([]dedupWindow, cfg.Workers),
+		dataSeq:   make([]int64, fleet),
+		dataSeen:  make([]dedupWindow, fleet),
 		win: window{
 			start:  time.Now(),
-			counts: make([]int64, cfg.Workers),
+			counts: make([]int64, fleet),
 		},
+
+		master:    transport.MasterID(fleet),
+		route:     newShardRoute(cfg),
+		down:      make([]bool, fleet),
+		leaving:   make([]bool, fleet),
+		joinMarks:  make([]int, fleet),
+		joinMarks2: make([]int, fleet),
+		joinAdmit: -1,
 	}
-	w.met = newWorkerMetrics(cfg.Workers)
+	w.met = newWorkerMetrics(fleet)
 	w.pol = policiesFor(cfg, plan, id, w.met.reg)
 	if cfg.Fault != nil {
 		// Straggler injection decorates the mode's barrier from outside
@@ -205,13 +244,16 @@ func newWorker(id int, cfg Config, plan *compiler.Plan, conn transport.Conn) *wo
 }
 
 func (w *worker) newTable() monotable.Table {
-	if w.plan.PairKeys {
+	// Dense tables stride keys by the static modulo partition; an elastic
+	// fleet's consistent-hash ownership has no such structure, so it
+	// always shards into Sparse tables.
+	if w.plan.PairKeys || w.cfg.Elastic {
 		return monotable.NewSparse(w.plan.Op)
 	}
 	return monotable.NewDense(w.plan.Op, w.plan.N, int64(w.nw), int64(w.id))
 }
 
-func (w *worker) owner(key int64) int { return graph.Partition(key, w.nw) }
+func (w *worker) owner(key int64) int { return w.route.owner(key) }
 
 // sendAttempts bounds the comm goroutine's blocking-send retries. The
 // transport has its own healing underneath (TCP redials with backoff and
@@ -485,6 +527,50 @@ func (w *worker) handle(m transport.Message) {
 		if m.Round > w.epochGo {
 			w.epochGo = m.Round
 		}
+	case transport.Join:
+		// Overloaded by direction (membership.go): from the master it is
+		// the fence request — Round the fence epoch, Stats.Sent the
+		// rollback directive, Stats.Recv the admitted slot + 1; from a
+		// peer it is the cut marker on the data lane. Receivers keep the
+		// max, so retransmissions are idempotent.
+		if m.From == w.master {
+			if m.Round > w.joinReqEpoch {
+				w.joinReqEpoch = m.Round
+				w.joinRollback = m.Stats.Sent
+				w.joinAdmit = int(m.Stats.Recv) - 1
+			}
+		} else if m.From >= 0 && m.From < len(w.joinMarks) {
+			// Stats.Sent distinguishes the fence's two marker rounds: 0 is
+			// the pre-fence cut, 1 the post-migration cut (runJoinFence).
+			if m.Stats.Sent != 0 {
+				if m.Round > w.joinMarks2[m.From] {
+					w.joinMarks2[m.From] = m.Round
+				}
+			} else if m.Round > w.joinMarks[m.From] {
+				w.joinMarks[m.From] = m.Round
+			}
+		}
+	case transport.Orphan:
+		// Round names the slot. Stats.Sent != 0 is a graceful retirement
+		// (scale-in: the slot keeps running until the fence migrates its
+		// shard out); 0 is a crash verdict — suppress flushes toward the
+		// slot and skip it in every peer-minimum scan, which unwedges any
+		// gate or episode blocked on the dead worker. A worker never
+		// marks itself down: if the master misjudged a slow worker, the
+		// transport's generation fence kills it at its next send instead.
+		if id := m.Round; id >= 0 && id < len(w.down) {
+			if m.Stats.Sent != 0 {
+				w.leaving[id] = true
+			} else if id != w.id {
+				w.down[id] = true
+			}
+		}
+	case transport.Handoff:
+		w.acceptHandoff(m)
+	case transport.Release:
+		if m.Round > w.releaseEpoch {
+			w.releaseEpoch = m.Round
+		}
 	case transport.PhaseDone, transport.StatsReply, transport.SnapDone, transport.ParkDone:
 		// Worker→master kinds; a worker receiving one (misrouted frame,
 		// chaos injection) ignores it rather than corrupting local state.
@@ -540,7 +626,7 @@ func (w *worker) replyStats(round int) {
 		Dirty:    w.table.HasDirty() || w.pol.sched.holding() || !w.buffersEmpty(),
 	}
 	w.accDelta = 0
-	w.enqueue(transport.MasterID(w.nw), transport.Message{
+	w.enqueue(w.master, transport.Message{
 		Kind: transport.StatsReply, Round: round, Stats: st,
 	})
 }
@@ -621,6 +707,13 @@ func (w *worker) snapshot(epoch int, cut bool) error {
 // by Data otherwise) so the receiver can discard redeliveries from the
 // termination watermark.
 func (w *worker) flush(j int) {
+	if w.down[j] {
+		// The slot is crash-orphaned: hold the buffer. Selective replay
+		// refills it for the replacement and it drains after the fence's
+		// Release resets the link (extra deliveries are idempotent by
+		// Theorem 3); rollback repairs discard it wholesale.
+		return
+	}
 	kvs := w.bufs[j].take()
 	if len(kvs) == 0 {
 		return
@@ -678,6 +771,16 @@ func (w *worker) run() {
 		// first pass, so a big seed fans out immediately.
 		w.scan.lastDrained = w.table.DirtyApprox()
 	}
+	if w.joinGate {
+		// Spawned into a running fixpoint (crash replacement or
+		// scale-out): hold the compute loop until the admission fence
+		// Releases — at which point table, route, and link state are
+		// consistent with the fleet.
+		w.awaitAdmission()
+		if w.stopped || w.sendDead.Load() {
+			return
+		}
+	}
 	w.pol.barrier.setup(w)
 	for {
 		w.runFixpoint()
@@ -716,25 +819,20 @@ func (w *worker) parkPending() bool { return w.parkEpoch >= w.curEpoch }
 // before the mark). Marks carry the epoch and receivers keep the max, so
 // retransmissions are idempotent.
 func (w *worker) broadcastParkMark(epoch int) {
-	for j := 0; j < w.nw; j++ {
-		if j != w.id {
-			w.enqueue(j, transport.Message{Kind: transport.ParkMark, Round: epoch})
-		}
-	}
+	w.eachPeer(func(j int) {
+		w.enqueue(j, transport.Message{Kind: transport.ParkMark, Round: epoch})
+	})
 }
 
 func (w *worker) minParkMarks() int {
-	least := -1
+	least := maxSteps // no waitable peer: nothing to wait for
 	for j, s := range w.parkMarks {
-		if j == w.id {
+		if w.peerSkip(j) {
 			continue
 		}
-		if least < 0 || s < least {
+		if s < least {
 			least = s
 		}
-	}
-	if least < 0 {
-		return int(^uint(0) >> 1) // single worker: nothing to wait for
 	}
 	return least
 }
@@ -771,7 +869,7 @@ func (w *worker) parkAndAwait() bool {
 	if w.stopped || w.sendDead.Load() {
 		return false
 	}
-	w.enqueue(transport.MasterID(w.nw), transport.Message{Kind: transport.ParkDone, Round: e})
+	w.enqueue(w.master, transport.Message{Kind: transport.ParkDone, Round: e})
 	for !w.stopped && !w.sendDead.Load() && w.epochGo <= e {
 		select {
 		case m, ok := <-w.conn.Inbox():
@@ -780,6 +878,13 @@ func (w *worker) parkAndAwait() bool {
 				return false
 			}
 			w.handle(m)
+			// The parked inbox wait is also a membership safe point: a
+			// scale fence driven between fixpoints (Session.AddWorker /
+			// RemoveWorker on a parked fleet) is joined right here.
+			w.maybeJoinFence()
+			if w.stopped {
+				return false // retired at the fence (scale-in)
+			}
 		case <-time.After(markerResend):
 			// Keep healing peer handshakes while parked: a peer whose view
 			// of our mark was lost is still blocked pre-ParkDone.

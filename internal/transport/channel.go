@@ -2,16 +2,25 @@ package transport
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"time"
 )
 
 // ChannelNetwork is the in-process transport: one buffered channel per
 // endpoint. Endpoint n (the last) is the master.
+//
+// Endpoints can be replaced while the network is live (ResetConn) so a
+// crashed worker's slot can be re-pointed at a fresh inbox: senders
+// always resolve the destination's *current* channel under the lock,
+// while each conn keeps the inbox it was born with — a stale conn held
+// by a dead worker's goroutines can never steal messages addressed to
+// its replacement.
 type ChannelNetwork struct {
-	chans []chan Message
-	conns []*channelConn
-
-	mu     sync.Mutex
+	mu     sync.RWMutex
+	chans  []chan Message
+	conns  []*channelConn
+	bufCap int
 	closed bool
 }
 
@@ -23,18 +32,41 @@ func NewChannelNetwork(n int, bufCap int) *ChannelNetwork {
 		bufCap = 1024
 	}
 	net := &ChannelNetwork{
-		chans: make([]chan Message, n+1),
-		conns: make([]*channelConn, n+1),
+		chans:  make([]chan Message, n+1),
+		conns:  make([]*channelConn, n+1),
+		bufCap: bufCap,
 	}
 	for i := range net.chans {
 		net.chans[i] = make(chan Message, bufCap)
-		net.conns[i] = &channelConn{net: net, id: i, workers: n}
+		net.conns[i] = &channelConn{net: net, id: i, workers: n, inbox: net.chans[i]}
 	}
 	return net
 }
 
 // Conn returns endpoint i's connection (workers 0..n-1, master n).
-func (n *ChannelNetwork) Conn(i int) Conn { return n.conns[i] }
+func (n *ChannelNetwork) Conn(i int) Conn {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.conns[i]
+}
+
+// ResetConn replaces endpoint i with a fresh inbox and returns the new
+// connection. The old inbox is closed (unblocking any stale reader) and
+// any messages still queued in it are dropped — exactly the semantics of
+// a worker crash. Messages sent to i after the reset land in the new
+// inbox.
+func (n *ChannelNetwork) ResetConn(i int) Conn {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return n.conns[i]
+	}
+	old := n.chans[i]
+	n.chans[i] = make(chan Message, n.bufCap)
+	n.conns[i] = &channelConn{net: n, id: i, workers: n.conns[i].workers, inbox: n.chans[i]}
+	close(old)
+	return n.conns[i]
+}
 
 // Close shuts the network down, closing every inbox.
 func (n *ChannelNetwork) Close() {
@@ -53,45 +85,82 @@ type channelConn struct {
 	net     *ChannelNetwork
 	id      int
 	workers int
+	inbox   chan Message
 }
 
 func (c *channelConn) ID() int      { return c.id }
 func (c *channelConn) Workers() int { return c.workers }
 
+// trySend performs one non-blocking delivery attempt under the network
+// read lock. Holding the lock across the channel operation (the select
+// never blocks) is what makes it sound against ResetConn and Close:
+// both close channels only under the write lock, after unlinking them
+// from chans, so a channel resolved here cannot be closed mid-send — no
+// send-on-closed panic, no race.
+func (c *channelConn) trySend(to int, m Message) (bool, error) {
+	c.net.mu.RLock()
+	defer c.net.mu.RUnlock()
+	if to < 0 || to >= len(c.net.chans) {
+		return false, fmt.Errorf("transport: no endpoint %d", to)
+	}
+	// Sending on a closed network after Stop is benign for the caller;
+	// report it as an error rather than crashing the worker goroutine.
+	if c.net.closed {
+		return false, fmt.Errorf("transport: network closed")
+	}
+	// Generation fence: once ResetConn has replaced this endpoint, the
+	// stale conn a dead (or presumed-dead) worker still holds must not
+	// inject into the network — its slot's replacement starts from fresh
+	// sequence numbers, so a late delivery from the old generation would
+	// corrupt the receivers' dedup windows and the global send/recv
+	// accounting. Failing the send here makes the fencing total: it
+	// covers messages to *every* destination, not just the reset slot.
+	if c.net.conns[c.id] != c {
+		return false, fmt.Errorf("transport: endpoint %d was reset; this connection is fenced off", c.id)
+	}
+	m.From = c.id
+	select {
+	case c.net.chans[to] <- m:
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
 // TrySend attempts a non-blocking delivery; it reports false when the
 // destination inbox is full. The runtime uses it to keep control traffic
 // flowing while bulk data is back-pressured.
 func (c *channelConn) TrySend(to int, m Message) (bool, error) {
-	if to < 0 || to >= len(c.net.chans) {
-		return false, fmt.Errorf("transport: no endpoint %d", to)
-	}
-	m.From = c.id
-	ok := true
-	func() {
-		defer func() { recover() }()
-		select {
-		case c.net.chans[to] <- m:
-		default:
-			ok = false
-		}
-	}()
-	return ok, nil
+	return c.trySend(to, m)
 }
 
+// Send blocks until delivery by retrying the locked non-blocking send
+// with escalating backoff. The lock is never held while waiting, so a
+// back-pressured destination cannot stall a concurrent ResetConn — and
+// a destination that is reset out from under a blocked Send surfaces as
+// the fence error on the next attempt instead of wedging forever.
 func (c *channelConn) Send(to int, m Message) error {
-	if to < 0 || to >= len(c.net.chans) {
-		return fmt.Errorf("transport: no endpoint %d", to)
+	for n := 0; ; n++ {
+		ok, err := c.trySend(to, m)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		switch {
+		case n < 16:
+			runtime.Gosched()
+		default:
+			d := time.Duration(n-15) * 10 * time.Microsecond
+			if d > 200*time.Microsecond {
+				d = 200 * time.Microsecond
+			}
+			time.Sleep(d)
+		}
 	}
-	m.From = c.id
-	defer func() {
-		// Sending on a closed network after Stop is benign; report it as
-		// an error rather than crashing the worker goroutine.
-		recover()
-	}()
-	c.net.chans[to] <- m
-	return nil
 }
 
-func (c *channelConn) Inbox() <-chan Message { return c.net.chans[c.id] }
+func (c *channelConn) Inbox() <-chan Message { return c.inbox }
 
 func (c *channelConn) Close() error { return nil }

@@ -62,7 +62,7 @@ func appendPayload(buf []byte, m *Message) []byte {
 	buf = binary.AppendUvarint(buf, uint64(m.From))
 	buf = binary.AppendVarint(buf, int64(m.Round))
 	switch m.Kind {
-	case Data:
+	case Data, Handoff:
 		slices.SortFunc(m.KVs, func(a, b KV) int {
 			switch {
 			case a.K < b.K:
@@ -99,6 +99,12 @@ func appendPayload(buf []byte, m *Message) []byte {
 			flags |= 2
 		}
 		buf = append(buf, flags)
+	case Join:
+		// The master-side fence request rides Stats.Sent (rollback
+		// epoch, may be -1) and Stats.Recv (admitted id + 1), both
+		// signed — zigzag varints, unlike the counter stats above.
+		buf = binary.AppendVarint(buf, m.Stats.Sent)
+		buf = binary.AppendVarint(buf, m.Stats.Recv)
 	default:
 		// Control kinds (EndPhase, Continue, Stop, the snapshot and park
 		// handshakes, ...) carry nothing beyond the kind/from/round
@@ -116,7 +122,7 @@ func decodePayload(data []byte) (Message, error) {
 	m.From = int(d.uvarint())
 	m.Round = int(d.varint())
 	switch m.Kind {
-	case Data:
+	case Data, Handoff:
 		n := d.uvarint()
 		// A KV costs at least 9 bytes (≥1 varint key byte + 8 value
 		// bytes), so a count the remaining payload cannot hold is a
@@ -147,12 +153,15 @@ func decodePayload(data []byte) (Message, error) {
 		flags := d.byte()
 		m.Stats.Idle = flags&1 != 0
 		m.Stats.Dirty = flags&2 != 0
+	case Join:
+		m.Stats.Sent = d.varint()
+		m.Stats.Recv = d.varint()
 	default:
 		// Control kinds have an empty payload; the header already
 		// decoded is the whole message.
 	}
 	if d.bad {
-		if m.Kind == Data {
+		if m.Kind == Data || m.Kind == Handoff {
 			PutBatch(m.KVs)
 			m.KVs = nil
 		}

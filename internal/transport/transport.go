@@ -39,12 +39,24 @@ const (
 	ParkMark                 // worker → worker, data lane: no more data from sender this epoch
 	ParkDone                 // worker → master: drained all peers' ParkMarks, parked
 	EpochStart               // master → workers: mutations applied, run another fixpoint (Round = epoch)
+
+	// Membership protocol (elastic re-join / scale, DESIGN.md §11). Join
+	// is overloaded by sender: master → worker it is the fence request
+	// (Round = fence epoch, Stats.Sent = rollback cut epoch or -1 for
+	// seed reset, Stats.Recv = admitted worker id + 1 or 0), worker →
+	// worker on the data lane it is the fence cut marker, and worker →
+	// master it is the fence ack.
+	Join    // membership fence request / cut marker / ack (see above)
+	Orphan  // master → workers: Round names a lost (Stats.Sent=0) or retiring (Stats.Sent=1) worker
+	Handoff // worker → worker: keyed row migration batch (Round 0 = Accumulation rows, 1 = Intermediate deltas)
+	Release // master → workers: fence complete, membership change committed, resume
 )
 
 // String names the message kind.
 func (k Kind) String() string {
 	names := [...]string{"Data", "EndPhase", "PhaseDone", "Continue", "StatsRequest", "StatsReply", "Stop",
-		"SnapRequest", "SnapMark", "SnapDone", "Resume", "Park", "ParkMark", "ParkDone", "EpochStart"}
+		"SnapRequest", "SnapMark", "SnapDone", "Resume", "Park", "ParkMark", "ParkDone", "EpochStart",
+		"Join", "Orphan", "Handoff", "Release"}
 	if int(k) < len(names) {
 		return names[k]
 	}
