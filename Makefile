@@ -23,10 +23,17 @@
 # PR 9 membership layer (membership.go, rejoin_test.go: crashw re-join
 # matrix, elastic scale drills) also races under ./internal/runtime/...
 # -short — the fence/handoff/park interleavings are exactly where a
-# race would hide.
-.PHONY: check build vet lint test race bench metrics-smoke churn-smoke
+# race would hide. `make serve-smoke` exercises the PR 10 serving front
+# end (internal/server, cmd/plserved) end-to-end: the closed-loop serve
+# experiment over real loopback HTTP — lookup/mutate mixes against a
+# parked session — finishing with a /metrics scrape that must pass the
+# Prometheus exposition conformance check; the race pass covers the
+# concurrent-handler and concurrent-session tests
+# (./internal/server/..., plus the session hammer under
+# ./internal/runtime/...).
+.PHONY: check build vet lint test race bench metrics-smoke churn-smoke serve-smoke
 
-check: vet lint build test race metrics-smoke churn-smoke
+check: vet lint build test race metrics-smoke churn-smoke serve-smoke
 
 build:
 	go build ./...
@@ -41,13 +48,16 @@ test:
 	go test ./...
 
 race:
-	go test -race -short -cpu 1,4 ./internal/runtime/... ./internal/transport/... ./internal/monotable/... ./internal/ckpt/... ./internal/fault/... ./internal/metrics/... ./internal/edb/... ./internal/gen/...
+	go test -race -short -cpu 1,4 ./internal/runtime/... ./internal/transport/... ./internal/monotable/... ./internal/ckpt/... ./internal/fault/... ./internal/metrics/... ./internal/edb/... ./internal/gen/... ./internal/server/...
 
 metrics-smoke:
 	go run ./cmd/plbench -exp policymetrics -smoke -maxwall 60s
 
 churn-smoke:
 	go run ./cmd/plbench -exp churn -smoke -maxwall 60s
+
+serve-smoke:
+	go run ./cmd/plbench -exp serve -smoke -maxwall 60s
 
 # Hot-path microbenches with allocation counts (BENCH_PR1.json records
 # the tracked numbers).

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: table1, table2, fig1, fig9, fig10, fig11, ablation, ssp, recovery, rejoin, policymetrics, cores, churn, or all")
+	exp := flag.String("exp", "", "experiment id: table1, table2, fig1, fig9, fig10, fig11, ablation, ssp, recovery, rejoin, policymetrics, cores, churn, serve, or all")
 	workers := flag.Int("workers", 4, "worker shards per engine run")
 	cores := flag.Int("cores", 0, "per-worker scan parallelism (0 = min(GOMAXPROCS, 8); 1 = serial pass)")
 	maxWall := flag.Duration("maxwall", 5*time.Minute, "per-run wall-clock cap")

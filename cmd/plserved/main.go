@@ -1,0 +1,88 @@
+// Command plserved is the multi-tenant serving front end: a long-lived
+// HTTP server that loads dataset shards once, keeps a pool of parked
+// engine sessions per (dataset, program, mode), and serves fixpoint
+// queries, wait-free point lookups, and incremental mutations with
+// per-tenant admission control and Prometheus metrics.
+//
+// Usage:
+//
+//	plserved -listen :8080
+//	plserved -listen :8080 -workers 8 -rate 100 -fixpoints 4
+//
+//	curl -d '{"tenant":"t1","dataset":"tiny-chain","algo":"SSSP"}' \
+//	     localhost:8080/v1/query
+//	curl 'localhost:8080/v1/result?dataset=tiny-chain&algo=SSSP&mode=unified&key=7'
+//	curl -d '{"tenant":"t1","dataset":"tiny-chain","algo":"SSSP","mode":"unified",
+//	          "inserts":[{"src":0,"dst":9,"w":1.5}]}' localhost:8080/v1/mutate
+//	curl localhost:8080/metrics
+//
+// On SIGTERM/SIGINT the server drains gracefully: it stops accepting
+// connections, lets in-flight responses finish streaming (bounded by
+// -drain), then closes every pooled session, each of which waits out
+// its in-flight fixpoint.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"powerlog/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to serve HTTP on")
+	workers := flag.Int("workers", 4, "worker shards per engine session")
+	rate := flag.Float64("rate", 50, "per-tenant admission rate (requests/second)")
+	burst := flag.Float64("burst", 0, "per-tenant token-bucket capacity (0 = 2x rate)")
+	fixpoints := flag.Int("fixpoints", 2, "concurrent fixpoint cap across all tenants")
+	budget := flag.Duration("budget", 30*time.Second, "default per-request wall budget")
+	maxBudget := flag.Duration("maxbudget", 2*time.Minute, "ceiling on client-requested budgets")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight responses")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:       *workers,
+		Rate:          *rate,
+		Burst:         *burst,
+		MaxFixpoints:  *fixpoints,
+		DefaultBudget: *budget,
+		MaxBudget:     *maxBudget,
+	})
+	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("plserved: listening on %s (workers=%d rate=%g fixpoints=%d)",
+			*listen, *workers, *rate, *fixpoints)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("plserved: %v; draining (deadline %v)", sig, *drain)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "plserved: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("plserved: shutdown: %v (closing anyway)", err)
+	}
+	if err := srv.Close(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "plserved: drain: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("plserved: drained")
+}

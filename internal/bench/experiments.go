@@ -18,7 +18,7 @@ import (
 // paper figure: it sweeps this implementation's own design knobs
 // (DESIGN.md §5) — the delta-stepping-style ordered scan and the §5.4
 // priority threshold.
-var Experiments = []string{"table1", "table2", "fig1", "fig9", "fig10", "fig11", "ablation", "ssp", "extra", "recovery", "rejoin", "policymetrics", "cores", "churn"}
+var Experiments = []string{"table1", "table2", "fig1", "fig9", "fig10", "fig11", "ablation", "ssp", "extra", "recovery", "rejoin", "policymetrics", "cores", "churn", "serve"}
 
 // RunExperiment dispatches by experiment id and writes the rows to w.
 func RunExperiment(id string, w io.Writer, cfg RunConfig) error {
@@ -62,6 +62,9 @@ func RunExperiment(id string, w io.Writer, cfg RunConfig) error {
 		return err
 	case "churn":
 		_, err := Churn(w, cfg)
+		return err
+	case "serve":
+		_, err := Serve(w, cfg)
 		return err
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (have %v)", id, Experiments)

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"powerlog/internal/metrics"
+	"powerlog/internal/server"
+)
+
+// Serve is the closed-loop load driver for the serving front end
+// (plserved's internals run in-process against a real TCP listener, so
+// the measured path includes the HTTP stack). One warm-up query parks a
+// fixpoint per algorithm, then a small fleet of closed-loop clients
+// issues request mixes sweeping the mutate share — 0% (lookups only),
+// 5%, and 20% — and the driver reports per-class throughput and tail
+// latency. A mutate re-fixpoints the parked session incrementally, so
+// the sweep exposes how much incremental re-evaluation under the
+// session-busy shed policy costs the read path's p99. The run ends with
+// a /metrics scrape that must pass the exposition conformance check.
+func Serve(w io.Writer, cfg RunConfig) ([]Measurement, error) {
+	cfg = cfg.orDefaults()
+	dataset := "tiny-rmat"
+	clients := 4
+	perMix := 3 * time.Second
+	if cfg.Smoke {
+		dataset = "tiny-chain"
+		clients = 2
+		perMix = time.Second
+	}
+	mixes := []float64{0, 0.05, 0.20}
+
+	srv := server.New(server.Config{
+		Workers:      cfg.Workers,
+		Rate:         1e6, // the driver is closed-loop; shed only on busy
+		MaxFixpoints: 2,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+
+	fmt.Fprintf(w, "Serve: closed-loop load against plserved in-process (%s, %d clients, %v per mix)\n",
+		dataset, clients, perMix)
+	fmt.Fprintf(w, "  %-10s %-8s %9s %11s %11s %11s %8s\n",
+		"mix", "class", "requests", "thru/s", "p50", "p99", "shed")
+
+	cli := &http.Client{Timeout: time.Minute}
+	post := func(path string, body any) (int, error) {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := cli.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// Warm-up: park one SSSP fixpoint (the mix workload's session).
+	type qreq struct {
+		Tenant  string `json:"tenant"`
+		Dataset string `json:"dataset"`
+		Algo    string `json:"algo"`
+		Mode    string `json:"mode"`
+	}
+	code, err := post("/v1/query", qreq{Tenant: "bench", Dataset: dataset, Algo: "SSSP", Mode: "unified"})
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve: warm-up query: %w", err)
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("bench: serve: warm-up query status %d", code)
+	}
+
+	type mreq struct {
+		Tenant  string `json:"tenant"`
+		Dataset string `json:"dataset"`
+		Algo    string `json:"algo"`
+		Mode    string `json:"mode"`
+		Inserts []struct {
+			Src int32   `json:"src"`
+			Dst int32   `json:"dst"`
+			W   float64 `json:"w"`
+		} `json:"inserts"`
+	}
+	mkMutate := func(rng *rand.Rand) mreq {
+		var m mreq
+		m.Tenant, m.Dataset, m.Algo, m.Mode = "bench", dataset, "SSSP", "unified"
+		m.Inserts = make([]struct {
+			Src int32   `json:"src"`
+			Dst int32   `json:"dst"`
+			W   float64 `json:"w"`
+		}, 1)
+		m.Inserts[0].Src = int32(rng.Intn(200))
+		m.Inserts[0].Dst = int32(rng.Intn(200))
+		m.Inserts[0].W = 1 + rng.Float64()*10
+		return m
+	}
+
+	var out []Measurement
+	for _, mix := range mixes {
+		// Per-class latency records, appended under lat.mu by every client.
+		var lat struct {
+			mu             sync.Mutex
+			lookup, mutate []time.Duration
+			shed           int
+		}
+		stop := time.Now().Add(perMix)
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(1000*mix) + int64(c)))
+				for time.Now().Before(stop) {
+					if rng.Float64() < mix {
+						m := mkMutate(rng)
+						t0 := time.Now()
+						code, err := post("/v1/mutate", m)
+						d := time.Since(t0)
+						if err != nil {
+							errs <- err
+							return
+						}
+						lat.mu.Lock()
+						switch code {
+						case http.StatusOK:
+							lat.mutate = append(lat.mutate, d)
+						case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+							lat.shed++
+						default:
+							lat.mu.Unlock()
+							errs <- fmt.Errorf("mutate status %d", code)
+							return
+						}
+						lat.mu.Unlock()
+					} else {
+						key := rng.Intn(200)
+						t0 := time.Now()
+						resp, err := cli.Get(fmt.Sprintf("%s/v1/result?dataset=%s&algo=SSSP&mode=unified&key=%d",
+							base, dataset, key))
+						d := time.Since(t0)
+						if err != nil {
+							errs <- err
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+							errs <- fmt.Errorf("lookup status %d", resp.StatusCode)
+							return
+						}
+						lat.mu.Lock()
+						lat.lookup = append(lat.lookup, d)
+						lat.mu.Unlock()
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return nil, fmt.Errorf("bench: serve: mix %.0f%%: %w", mix*100, err)
+		}
+
+		mixLabel := fmt.Sprintf("mutate=%g%%", mix*100)
+		for _, cl := range []struct {
+			name string
+			ds   []time.Duration
+		}{{"lookup", lat.lookup}, {"mutate", lat.mutate}} {
+			if len(cl.ds) == 0 {
+				continue
+			}
+			sort.Slice(cl.ds, func(i, j int) bool { return cl.ds[i] < cl.ds[j] })
+			p50 := cl.ds[len(cl.ds)/2]
+			p99 := cl.ds[len(cl.ds)*99/100]
+			thru := float64(len(cl.ds)) / perMix.Seconds()
+			fmt.Fprintf(w, "  %-10s %-8s %9d %11.1f %11v %11v %8d\n",
+				mixLabel, cl.name, len(cl.ds), thru, p50.Round(time.Microsecond), p99.Round(time.Microsecond), lat.shed)
+			out = append(out, Measurement{
+				Algo: "SSSP", Dataset: dataset,
+				Series:  fmt.Sprintf("serve/%s/%s", mixLabel, cl.name),
+				Seconds: p99.Seconds(), Rounds: len(cl.ds), Converged: true,
+			})
+		}
+	}
+
+	// Conformance scrape: the exposition must parse, and the serving
+	// histograms must be populated by the run above.
+	resp, err := cli.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve: scrape: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve: scrape read: %w", err)
+	}
+	if err := metrics.CheckExposition(body); err != nil {
+		return nil, fmt.Errorf("bench: serve: /metrics fails exposition conformance: %w", err)
+	}
+	for _, want := range []string{"powerlog_serve_lookup_latency_us_count", "powerlog_serve_query_latency_us_count"} {
+		if !strings.Contains(string(body), want) {
+			return nil, fmt.Errorf("bench: serve: /metrics missing %s", want)
+		}
+	}
+	fmt.Fprintf(w, "  /metrics: %d bytes, exposition conformance ok\n", len(body))
+	return out, nil
+}

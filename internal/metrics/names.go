@@ -59,4 +59,19 @@ var WellKnownNames = []string{
 	"tcp.breaker.close",
 	"tcp.peer%d.batch",
 	"tcp.peer%d.bytes",
+
+	// Serving front end (§12 plserved): request mix, shedding, and
+	// request-path latency histograms (microseconds, log2 buckets).
+	"serve.req",
+	"serve.query.fresh",
+	"serve.query.cached",
+	"serve.lookup",
+	"serve.mutate",
+	"serve.shed.rate",
+	"serve.shed.busy",
+	"serve.error",
+	"serve.session.pooled",
+	"serve.query.latency_us",
+	"serve.lookup.latency_us",
+	"serve.mutate.latency_us",
 }

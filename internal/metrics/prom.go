@@ -1,0 +1,423 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders Snapshots in the Prometheus text exposition format
+// (version 0.0.4) for the serving front end's /metrics endpoint, and
+// provides a strict grammar checker the conformance tests and the smoke
+// target scrape through.
+//
+// Mapping from the registry's conventions to Prometheus's:
+//
+//   - Our dotted names ("master.member.join", "tcp.peer3.bytes") become
+//     legal metric names by rewriting every character outside
+//     [a-zA-Z0-9_:] to '_', prefixed with the exporter namespace:
+//     powerlog_master_member_join.
+//   - Counters get the conventional _total suffix.
+//   - Histograms expose the log2 buckets cumulatively. Bucket i of a
+//     Histogram counts observations v with bits.Len64(v) == i, i.e.
+//     bucket 0 is exactly v == 0 and bucket i >= 1 covers
+//     [2^(i-1), 2^i) — so bucket i's INCLUSIVE upper bound is 2^i - 1,
+//     and that (not 2^i) is the le label. Getting this off by one
+//     bucket would shift every reported quantile by a factor of two,
+//     which is why prom_test.go pins the conversion to a hand-computed
+//     fixture.
+
+// sanitizeMetricName rewrites an internal dotted metric name to a legal
+// Prometheus metric name: every character outside [a-zA-Z0-9_:] becomes
+// '_', and a leading digit gets a '_' prefix.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		legal := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+		if i == 0 && '0' <= c && c <= '9' {
+			b.WriteByte('_')
+		}
+		if legal {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// bucketUpper returns the inclusive upper bound of log2 bucket i as the
+// le label string: "0" for bucket 0, 2^i - 1 for 1 <= i <= 64.
+func bucketUpper(i int) string {
+	if i <= 0 {
+		return "0"
+	}
+	if i >= 64 {
+		return strconv.FormatUint(math.MaxUint64, 10)
+	}
+	return strconv.FormatUint(uint64(1)<<uint(i)-1, 10)
+}
+
+// formatValue renders a sample value the way Prometheus parses it.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format: one # TYPE line per metric family followed by its samples,
+// families sorted by name for deterministic scrapes. namespace prefixes
+// every metric name ("powerlog" -> powerlog_sched_hold_total); it is
+// sanitized like the names themselves. Counters carry the conventional
+// _total suffix; histograms are exposed with cumulative buckets, a +Inf
+// bucket, _sum, and _count, with le labels holding each log2 bucket's
+// inclusive upper bound.
+func WritePrometheus(w io.Writer, namespace string, s Snapshot) {
+	prefix := ""
+	if namespace != "" {
+		prefix = sanitizeMetricName(namespace) + "_"
+	}
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := prefix + sanitizeMetricName(name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n", n)
+		fmt.Fprintf(w, "%s %d\n", n, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := prefix + sanitizeMetricName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", n)
+		fmt.Fprintf(w, "%s %s\n", n, formatValue(s.Gauges[name]))
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		n := prefix + sanitizeMetricName(name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		// Emit buckets 0..last non-empty, cumulatively, then +Inf. The
+		// empty tail would be pure noise (65 buckets span all of uint64);
+		// +Inf always carries the total, as the format requires.
+		last := -1
+		for i, b := range h.Buckets {
+			if b != 0 {
+				last = i
+			}
+		}
+		cum := uint64(0)
+		for i := 0; i <= last; i++ {
+			cum += h.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", n, bucketUpper(i), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Exposition-format conformance checking.
+// ---------------------------------------------------------------------
+
+func legalMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_' || c == ':' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z'):
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func legalLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z'):
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample splits one exposition sample line into name, labels, and
+// value. It accepts the subset of the text format an exporter emits:
+// name[{label="value",...}] value — no timestamps, no escapes beyond
+// \" \\ \n in label values.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("no value")
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	labels = map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		body := rest[1:end]
+		rest = rest[end+1:]
+		for body != "" {
+			eq := strings.Index(body, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("label without '='")
+			}
+			lname := body[:eq]
+			body = body[eq+1:]
+			if !strings.HasPrefix(body, `"`) {
+				return "", nil, 0, fmt.Errorf("unquoted label value")
+			}
+			closeQ := -1
+			for i := 1; i < len(body); i++ {
+				if body[i] == '\\' {
+					i++
+					continue
+				}
+				if body[i] == '"' {
+					closeQ = i
+					break
+				}
+			}
+			if closeQ < 0 {
+				return "", nil, 0, fmt.Errorf("unterminated label value")
+			}
+			if !legalLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("illegal label name %q", lname)
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %q", lname)
+			}
+			labels[lname] = body[1:closeQ]
+			body = body[closeQ+1:]
+			body = strings.TrimPrefix(body, ",")
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", nil, 0, fmt.Errorf("no value")
+	}
+	v, perr := strconv.ParseFloat(rest, 64)
+	if perr != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q", rest)
+	}
+	return name, labels, v, nil
+}
+
+// histFamily maps a sample name to its histogram family name if it is a
+// histogram series sample (_bucket/_sum/_count), else returns the name
+// unchanged with series = "".
+func histFamily(name string) (family, series string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf), suf
+		}
+	}
+	return name, ""
+}
+
+// histCheck accumulates one histogram family's conformance state.
+type histCheck struct {
+	lastLe   float64
+	lastCum  float64
+	buckets  int
+	infCount float64
+	hasInf   bool
+	count    float64
+	hasCount bool
+	hasSum   bool
+}
+
+// CheckExposition validates Prometheus text-format output against the
+// subset of the grammar an exporter must get right: legal metric and
+// label names, every sample preceded by exactly one # TYPE line for its
+// family, sample names consistent with the declared type (counter
+// samples end in _total; histogram samples are _bucket/_sum/_count),
+// histogram buckets cumulative and non-decreasing with strictly
+// increasing le bounds, a +Inf bucket present and equal to _count.
+// It returns nil for conforming input and a line-numbered error for the
+// first violation.
+func CheckExposition(data []byte) error {
+	typed := map[string]string{}
+	sampled := map[string]bool{}
+	hists := map[string]*histCheck{}
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		no := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return fmt.Errorf("line %d: bare comment %q in exporter output", no, line)
+			}
+			if fields[1] == "HELP" {
+				continue
+			}
+			if fields[1] != "TYPE" {
+				return fmt.Errorf("line %d: unknown comment keyword %q", no, fields[1])
+			}
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", no, line)
+			}
+			name, typ := fields[2], fields[3]
+			if !legalMetricName(name) {
+				return fmt.Errorf("line %d: illegal metric name %q", no, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", no, typ)
+			}
+			if _, dup := typed[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", no, name)
+			}
+			if sampled[name] {
+				return fmt.Errorf("line %d: TYPE for %q after its samples", no, name)
+			}
+			typed[name] = typ
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", no, err)
+		}
+		if !legalMetricName(name) {
+			return fmt.Errorf("line %d: illegal metric name %q", no, name)
+		}
+		family, series := histFamily(name)
+		typ, ok := typed[name]
+		if !ok && series != "" {
+			// _bucket/_sum/_count resolve to their family's TYPE.
+			typ, ok = typed[family]
+			if ok && typ != "histogram" && typ != "summary" {
+				// e.g. a counter that merely ends in _count: the full
+				// name needed its own TYPE, which was absent.
+				ok = false
+			}
+		} else if ok {
+			family, series = name, ""
+		}
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", no, name)
+		}
+		sampled[family] = true
+
+		if typ == "counter" {
+			if !strings.HasSuffix(name, "_total") {
+				return fmt.Errorf("line %d: counter sample %q lacks the _total suffix", no, name)
+			}
+			if value < 0 {
+				return fmt.Errorf("line %d: negative counter %q = %g", no, name, value)
+			}
+		}
+		if typ != "histogram" {
+			continue
+		}
+		h := hists[family]
+		if h == nil {
+			h = &histCheck{lastLe: math.Inf(-1)}
+			hists[family] = h
+		}
+		switch series {
+		case "_bucket":
+			leStr, okLe := labels["le"]
+			if !okLe {
+				return fmt.Errorf("line %d: histogram bucket %q without le label", no, name)
+			}
+			var le float64
+			if leStr == "+Inf" {
+				le = math.Inf(1)
+			} else {
+				le, err = strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q", no, leStr)
+				}
+			}
+			if le <= h.lastLe {
+				return fmt.Errorf("line %d: le %q not increasing in %s", no, leStr, family)
+			}
+			if value < h.lastCum {
+				return fmt.Errorf("line %d: cumulative bucket count decreased in %s (%g after %g)",
+					no, family, value, h.lastCum)
+			}
+			h.lastLe, h.lastCum = le, value
+			h.buckets++
+			if math.IsInf(le, 1) {
+				h.hasInf, h.infCount = true, value
+			}
+		case "_sum":
+			h.hasSum = true
+		case "_count":
+			h.hasCount, h.count = true, value
+		default:
+			return fmt.Errorf("line %d: stray histogram sample %q", no, name)
+		}
+	}
+
+	for family, h := range hists {
+		if !h.hasInf {
+			return fmt.Errorf("histogram %s: no +Inf bucket", family)
+		}
+		if !h.hasSum || !h.hasCount {
+			return fmt.Errorf("histogram %s: missing _sum or _count", family)
+		}
+		if h.infCount != h.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %g != count %g", family, h.infCount, h.count)
+		}
+	}
+	for family, typ := range typed {
+		if !sampled[family] {
+			return fmt.Errorf("TYPE %s declared for %s but no samples follow", typ, family)
+		}
+	}
+	return nil
+}

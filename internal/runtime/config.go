@@ -249,6 +249,14 @@ func (c Config) Validate() error {
 		return &ConfigError{Field: "MetricsEvery",
 			Reason: fmt.Sprintf("negative dump interval %v; use 0 to disable the periodic dump", c.MetricsEvery)}
 	}
+	if c.CollectTimeout < 0 {
+		return &ConfigError{Field: "CollectTimeout",
+			Reason: fmt.Sprintf("negative collect timeout %v; use 0 for the MaxWall fallback", c.CollectTimeout)}
+	}
+	if c.MaxWall < 0 {
+		return &ConfigError{Field: "MaxWall",
+			Reason: fmt.Sprintf("negative wall budget %v; use 0 for the default budget", c.MaxWall)}
+	}
 	if c.MaxWorkers < 0 {
 		return &ConfigError{Field: "MaxWorkers",
 			Reason: fmt.Sprintf("negative cap %d; use 0 for the Workers+4 default", c.MaxWorkers)}

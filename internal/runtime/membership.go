@@ -558,7 +558,7 @@ func (w *worker) finishFence(e, admit int) {
 	for j := range w.down {
 		if w.down[j] {
 			w.down[j] = false
-			w.resetLink(j)
+			w.resetLink(j, e)
 		}
 	}
 	for j, leaving := range w.leaving {
@@ -566,14 +566,14 @@ func (w *worker) finishFence(e, admit int) {
 			continue
 		}
 		w.leaving[j] = false
-		w.resetLink(j)
+		w.resetLink(j, e)
 		if j == w.id {
 			w.retired = true
 			w.stopped = true
 		}
 	}
 	if admit >= 0 && admit != w.id {
-		w.resetLink(admit)
+		w.resetLink(admit, e)
 	}
 	w.joinDone = e
 	w.joinGate = false
@@ -584,14 +584,29 @@ func (w *worker) finishFence(e, admit int) {
 	}
 }
 
-func (w *worker) resetLink(j int) {
+// resetLink clears link j's protocol state after fence e replaced,
+// admitted, or retired that slot. The marker clocks are epoch-stamped
+// and must only be cleared UP TO the fence being committed: the master
+// moves on to its next queued fence the moment it sends this one's
+// Release, so the next fence's newcomer — possibly spawned into this
+// same slot — can broadcast its first-round markers before our Release
+// arrives. Unconditionally zeroing the clocks here would erase such a
+// marker, and the newcomer never re-sends round-1 markers once it
+// advances to round 2: every other participant would fence while this
+// worker resends round-1 markers forever, wedging the fence (and the
+// Apply driving it, and any Close waiting behind that).
+func (w *worker) resetLink(j, e int) {
 	w.dataSeq[j] = 0
 	w.dataSeen[j] = dedupWindow{}
 	w.peerSteps[j] = 0
 	w.snapMarks[j] = 0
 	w.parkMarks[j] = 0
-	w.joinMarks[j] = 0
-	w.joinMarks2[j] = 0
+	if w.joinMarks[j] <= e {
+		w.joinMarks[j] = 0
+	}
+	if w.joinMarks2[j] <= e {
+		w.joinMarks2[j] = 0
+	}
 }
 
 // awaitAdmission is the gated prologue of a worker spawned into a

@@ -1,10 +1,10 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"powerlog/internal/ckpt"
@@ -12,6 +12,23 @@ import (
 	"powerlog/internal/edb"
 	"powerlog/internal/graph"
 	"powerlog/internal/transport"
+)
+
+// Typed session-state errors. Callers that drive a Session from
+// concurrent goroutines (the serving front end, internal/server) branch
+// on these with errors.Is: Busy maps to back-pressure (shed and retry),
+// Closed to a permanent rejection.
+var (
+	// ErrSessionClosed is returned by Apply, AddWorker, RemoveWorker,
+	// and membership changes once Close has been called (or is in
+	// progress on another goroutine).
+	ErrSessionClosed = errors.New("runtime: session is closed")
+	// ErrSessionBusy is returned when an exclusive session operation (a
+	// fixpoint, a membership fence) is already in flight on another
+	// goroutine and blocking would be wrong: an Apply can legitimately
+	// run for the whole wall budget, so a second caller gets an
+	// immediate typed rejection instead of an unbounded wait.
+	ErrSessionBusy = errors.New("runtime: session is busy (a fixpoint or membership fence is in flight)")
 )
 
 // Mutation is a batch of base-fact inserts and deletes against the
@@ -30,9 +47,18 @@ type Mutation = compiler.Mutation
 // cone plus boundary reseed for selective ones) and restarts the
 // termination protocol for one more epoch.
 //
-// A Session is not safe for concurrent use: Open, Apply, Result, and
-// Close must be called from one goroutine (the same goroutine runs the
-// master's termination protocol inside Open and Apply).
+// A Session is safe for concurrent use. The public API is serialized by
+// an internal mutex: at most one exclusive operation — an Apply epoch, a
+// parked-fleet membership fence, Close's teardown — runs at a time (the
+// master's termination protocol runs on the calling goroutine), and a
+// caller that would have to wait behind one gets ErrSessionBusy
+// immediately instead of blocking for up to the wall budget. Result,
+// Err, Epoch, and MutEpoch never block behind a running fixpoint: they
+// return the last published epoch's state, which is what a serving
+// front end wants for point lookups while a re-fixpoint is in flight.
+// Close is the one blocking call — it waits for the in-flight operation
+// to finish (bounded by Config.MaxWall) before tearing the fleet down,
+// so a graceful drain cannot yank warm state from under an Apply.
 //
 // Error model: a mutation that fails validation (an edge outside the
 // vertex universe) is rejected with the EDB untouched and the session
@@ -59,6 +85,20 @@ type Session struct {
 	mutEpoch int
 	engEpoch int
 
+	// mu guards the session's shared control state: busy, closing,
+	// closed, err, res, fleetDown, and the epoch counters. Exclusive
+	// operations (Apply, parked fences, teardown) claim the session via
+	// begin()/end() — the busy flag — and then run with mu RELEASED, so
+	// read-only accessors stay wait-free while a fixpoint computes; the
+	// busy holder is the only writer of fleet state, and it republishes
+	// results and errors under mu. cond signals busy/closed transitions
+	// for Close's drain wait.
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	busy    bool // an exclusive operation is in flight (its holder runs unlocked)
+	closing bool // Close has committed to teardown; new operations are rejected
+
 	res       *Result
 	err       error // sticky epoch failure; every later Apply returns it
 	fleetDown bool  // worker goroutines have exited
@@ -77,12 +117,93 @@ type Session struct {
 	// rollback epoch and the fleet finishing its reload; released at the
 	// fence's Release. scaled records that the membership has changed at
 	// least once, which invalidates checkpoints written under the old
-	// ownership ring. running marks an in-flight m.run so AddWorker /
-	// RemoveWorker from another goroutine know to queue their command
-	// instead of driving the fence directly.
+	// ownership ring. AddWorker / RemoveWorker callers observe busy (under
+	// mu) to decide between queueing their command to the running master
+	// and driving the fence directly against the parked fleet.
 	fenceRelease func()
 	scaled       bool
-	running      atomic.Bool
+}
+
+// begin claims the session for one exclusive operation. It fails fast
+// with the typed state errors instead of blocking: an in-flight epoch
+// can run for the whole wall budget, and queueing callers behind it
+// invisibly is exactly the bug the serving front end would turn into a
+// thread pile-up.
+func (s *Session) begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing || s.closed {
+		return ErrSessionClosed
+	}
+	if s.busy {
+		return ErrSessionBusy
+	}
+	if s.err != nil {
+		return s.err
+	}
+	s.busy = true
+	return nil
+}
+
+// end releases the exclusive claim and rejects membership commands that
+// raced the operation's exit. The ordering matters: commands are only
+// enqueued under mu while busy is set, so by the time end holds mu every
+// such command is in the channel; clearing busy first and draining after
+// guarantees none is left behind to hang its caller (the master's own
+// deferred drain only covers commands it saw before m.run returned). A
+// drain racing the next operation's freshly queued command can at worst
+// reject it with the retryable ErrSessionBusy.
+func (s *Session) end() {
+	s.mu.Lock()
+	s.busy = false
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.rejectQueuedCmds()
+}
+
+func (s *Session) rejectQueuedCmds() {
+	if s.m == nil || s.m.cmds == nil {
+		return
+	}
+	for {
+		select {
+		case cmd := <-s.m.cmds:
+			cmd.reply <- memberCmdResult{id: -1, err: ErrSessionBusy}
+		default:
+			return
+		}
+	}
+}
+
+// setResult publishes an epoch's Result for the wait-free accessors.
+// The Result itself is immutable after publication, so readers can use
+// it without holding mu.
+func (s *Session) setResult(res *Result) {
+	s.mu.Lock()
+	s.res = res
+	s.mu.Unlock()
+}
+
+// setFleetDown records that the worker goroutines have exited.
+func (s *Session) setFleetDown() {
+	s.mu.Lock()
+	s.fleetDown = true
+	s.mu.Unlock()
+}
+
+// bumpMutEpoch / bumpEngEpoch advance the epoch counters under mu (the
+// busy holder is the only writer, so its own later unlocked reads are
+// race-free; concurrent accessors read under mu).
+func (s *Session) bumpMutEpoch() {
+	s.mu.Lock()
+	s.mutEpoch++
+	s.mu.Unlock()
+}
+
+func (s *Session) bumpEngEpoch() {
+	s.mu.Lock()
+	s.engEpoch++
+	s.mu.Unlock()
 }
 
 // Open compiles nothing — the plan is already compiled — but stands up
@@ -151,6 +272,7 @@ func Open(plan *compiler.Plan, cfg Config) (*Session, error) {
 		log:     &edb.MutationLog{},
 		engEpoch: 1,
 	}
+	s.cond = sync.NewCond(&s.mu)
 
 	// Seed state per mode: MRA folds ΔX¹ into the shards (or restores a
 	// checkpoint); naive re-derives base tuples every round from each
@@ -219,34 +341,40 @@ func Open(plan *compiler.Plan, cfg Config) (*Session, error) {
 			w.run()
 		}(w)
 	}
-	s.running.Store(true)
+	// The session is not yet published, but the busy protocol still runs
+	// so the master's command queue gets its end-of-epoch drain.
+	s.busy = true
 	s.m.run()
-	s.running.Store(false)
 	res, err := s.finishEpoch(start)
+	s.end()
 	if err != nil {
 		// Transport death or a lost worker: nothing to resume — tear
 		// down fully so the caller doesn't have to Close a corpse.
 		s.teardown()
 		return nil, err
 	}
-	s.res = res
+	s.setResult(res)
 	return s, nil
 }
 
 // Apply folds a batch of base-fact changes into the EDB and converges
 // to the mutated program's fixpoint from the parked state, returning
 // that epoch's Result. The returned Result's message and flush counts
-// are per-epoch (work this Apply caused), not cumulative.
+// are per-epoch (work this Apply caused), not cumulative. Concurrency:
+// Apply claims the session exclusively; a second Apply (or a parked
+// membership fence) racing it returns ErrSessionBusy rather than
+// queueing, and an Apply racing Close returns ErrSessionClosed.
 func (s *Session) Apply(mut Mutation) (*Result, error) {
-	if s.closed {
-		return nil, fmt.Errorf("runtime: session is closed")
-	}
-	if s.err != nil {
-		return nil, s.err
-	}
 	if !s.cfg.Mode.MRA() {
 		return nil, fmt.Errorf("runtime: naive evaluation re-derives from scratch and cannot re-fixpoint incrementally; use an MRA mode")
 	}
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	// From here the calling goroutine is the exclusive busy holder: it
+	// is the only writer of fleet state (Close waits the claim out), so
+	// unlocked reads of fleetDown/mutEpoch/engEpoch below are race-free.
 	if s.fleetDown {
 		return nil, fmt.Errorf("runtime: session fleet is stopped (the initial fixpoint did not park)")
 	}
@@ -261,7 +389,7 @@ func (s *Session) Apply(mut Mutation) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mutEpoch++
+	s.bumpMutEpoch()
 	s.log.Append(s.mutEpoch, edb.GraphMutation{
 		Pred:    s.plan.JoinPredicate(),
 		Inserts: mut.Inserts,
@@ -324,12 +452,10 @@ func (s *Session) Apply(mut Mutation) (*Result, error) {
 	}
 
 	// One more epoch: wake the fleet and run the termination protocol.
-	s.engEpoch++
+	s.bumpEngEpoch()
 	s.m.epoch = s.engEpoch
 	s.m.bcast(transport.Message{Kind: transport.EpochStart, Round: s.engEpoch})
-	s.running.Store(true)
 	s.m.run()
-	s.running.Store(false)
 	res, err := s.finishEpoch(start)
 	if err != nil {
 		s.fail(err)
@@ -339,12 +465,12 @@ func (s *Session) Apply(mut Mutation) (*Result, error) {
 		// Crash injection, iteration cap, or wall clock: the master
 		// stopped the fleet, so the warm state is gone. Poison the
 		// session; recovery is Close + Open(RestoreDir) + log replay.
-		res := s.collect(time.Since(start))
-		s.res = res
-		s.fail(fmt.Errorf("runtime: session epoch %d stopped without converging (crash, iteration cap, or wall-clock limit)", s.engEpoch))
-		return nil, s.err
+		s.setResult(s.collect(time.Since(start)))
+		err := fmt.Errorf("runtime: session epoch %d stopped without converging (crash, iteration cap, or wall-clock limit)", s.engEpoch)
+		s.fail(err)
+		return nil, err
 	}
-	s.res = res
+	s.setResult(res)
 	return res, nil
 }
 
@@ -386,7 +512,7 @@ func (s *Session) finishEpoch(start time.Time) (*Result, error) {
 		// naive path; otherwise crash/cap/wall) — or lost it. Wait for
 		// the goroutines so the counters below are settled.
 		s.wg.Wait()
-		s.fleetDown = true
+		s.setFleetDown()
 		for _, w := range s.workers {
 			if w != nil && w.sendErr != nil {
 				return nil, fmt.Errorf("runtime: worker %d send failed: %w", w.id, w.sendErr)
@@ -480,15 +606,19 @@ func (s *Session) writeParkCheckpoint() {
 }
 
 // fail records the first sticky error and stops the fleet if it is
-// still up.
+// still up. Called only by the busy holder; the field writes go through
+// mu for the concurrent accessors' benefit.
 func (s *Session) fail(err error) {
+	s.mu.Lock()
 	if s.err == nil {
 		s.err = err
 	}
-	if !s.fleetDown {
+	down := s.fleetDown
+	s.mu.Unlock()
+	if !down {
 		s.m.bcast(transport.Message{Kind: transport.Stop})
 		s.wg.Wait()
-		s.fleetDown = true
+		s.setFleetDown()
 	}
 }
 
@@ -628,11 +758,11 @@ func (s *Session) fenceReleased() {
 }
 
 // AddWorker grows an elastic fleet by one worker and returns its slot
-// id. While a fixpoint is running (Open/Apply in flight on the session
-// goroutine) it may be called from any other goroutine: the command is
-// queued and the master fences it in between poll rounds. With the
-// fleet parked it must be called from the session goroutine, which
-// drives the fence directly. Requires Config.Elastic.
+// id. Safe to call from any goroutine: while a fixpoint is running the
+// command is queued and the master fences it in between poll rounds;
+// with the fleet parked the caller claims the session and drives the
+// fence directly (a concurrent Apply or second fence gets
+// ErrSessionBusy). Requires Config.Elastic.
 func (s *Session) AddWorker() (int, error) {
 	return s.memberChange(memberCmd{add: true})
 }
@@ -649,33 +779,45 @@ func (s *Session) memberChange(cmd memberCmd) (int, error) {
 		return -1, fmt.Errorf("runtime: membership changes need Config.Elastic")
 	}
 	cmd.reply = make(chan memberCmdResult, 1)
-	if s.running.Load() {
+	s.mu.Lock()
+	if s.closing || s.closed {
+		s.mu.Unlock()
+		return -1, ErrSessionClosed
+	}
+	if err := s.err; err != nil {
+		s.mu.Unlock()
+		return -1, err
+	}
+	if s.busy {
+		// A fixpoint (or fence) is in flight: queue the command and let
+		// the master fence it in between poll rounds. Enqueueing under mu
+		// while busy is what guarantees an answer — the busy holder's
+		// end() drains the queue after the master's own deferred drain.
 		select {
 		case s.m.cmds <- cmd:
 		default:
+			s.mu.Unlock()
 			return -1, fmt.Errorf("runtime: membership command queue is full")
 		}
+		s.mu.Unlock()
 		select {
 		case r := <-cmd.reply:
 			return r.id, r.err
 		case <-time.After(s.cfg.MaxWall + 5*time.Second):
-			// m.run's deferred drain rejects queued commands, so this only
-			// fires if the master itself wedged past its own wall clock.
+			// end()'s drain rejects queued commands, so this only fires
+			// if the master itself wedged past its own wall clock.
 			return -1, fmt.Errorf("runtime: membership change timed out")
 		}
 	}
-	// Parked fleet: the caller is (by the Session contract) the session
-	// goroutine, so drive the fence synchronously. Workers join it from
-	// their parked inbox wait.
-	if s.closed {
-		return -1, fmt.Errorf("runtime: session is closed")
-	}
-	if s.err != nil {
-		return -1, s.err
-	}
 	if s.fleetDown {
+		s.mu.Unlock()
 		return -1, fmt.Errorf("runtime: session fleet is stopped")
 	}
+	// Parked fleet: claim the session and drive the fence synchronously
+	// on this goroutine. Workers join it from their parked inbox wait.
+	s.busy = true
+	s.mu.Unlock()
+	defer s.end()
 	if !s.m.applyMemberCmd(cmd) {
 		s.fail(s.m.err)
 	}
@@ -686,35 +828,67 @@ func (s *Session) memberChange(cmd memberCmd) (int, error) {
 		// quiescent for the next Apply's table reads and writes.
 		if !s.m.awaitParkDone(r.id) {
 			s.fail(s.m.err)
-			return r.id, s.err
+			return r.id, s.Err()
 		}
 	}
 	return r.id, r.err
 }
 
 // teardown releases everything; used by Open's error path and Close.
+// The caller must hold the exclusive claim (Open's construction path or
+// Close's closing flag), so no other operation is touching the fleet.
 func (s *Session) teardown() {
 	if s.fenceRelease != nil {
 		s.fenceRelease()
 		s.fenceRelease = nil
 	}
-	if !s.fleetDown {
+	s.mu.Lock()
+	down := s.fleetDown
+	s.mu.Unlock()
+	if !down {
 		s.m.bcast(transport.Message{Kind: transport.Stop})
 		s.wg.Wait()
-		s.fleetDown = true
+		s.setFleetDown()
 	}
 	s.dump.close()
 	s.net.Close()
+	s.mu.Lock()
 	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
 }
 
-// Close stops the parked fleet and releases the transport. Idempotent.
-// It returns the first transport failure seen during shutdown, if any;
-// the session's sticky epoch error is reported by Apply/Err, not here.
+// Close stops the parked fleet and releases the transport. Idempotent,
+// and safe to call concurrently with Apply and membership changes: it
+// commits to closing immediately — operations that arrive after Close
+// has been called get ErrSessionClosed instead of queueing behind the
+// teardown — and then waits for the one in-flight operation to finish
+// (bounded by the wall budget) before tearing the fleet down. The
+// commit-first order matters under contention: if Close merely waited
+// for a busy-free window, callers re-claiming the session in a loop (a
+// serving front end under load) could starve it indefinitely.
+// Concurrent Closes wait for the first to complete. Close returns the
+// first transport failure seen during shutdown, if any; the session's
+// sticky epoch error is reported by Apply/Err, not here.
 func (s *Session) Close() error {
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
+	if s.closing {
+		// Another Close owns the teardown; wait for it to finish.
+		for !s.closed {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		return nil
+	}
+	s.closing = true // from here every new begin()/memberChange is rejected
+	for s.busy {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
 	s.teardown()
 	for _, w := range s.workers {
 		if w != nil && w.sendErr != nil {
@@ -725,23 +899,42 @@ func (s *Session) Close() error {
 }
 
 // Result returns the most recent fixpoint's Result (the initial one
-// after Open, the latest Apply's afterwards).
-func (s *Session) Result() *Result { return s.res }
+// after Open, the latest Apply's afterwards). It never blocks behind a
+// running Apply: mid-epoch it returns the previous epoch's Result, which
+// is immutable after publication and safe to read without coordination.
+func (s *Session) Result() *Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.res
+}
 
 // Epoch returns the number of fixpoints this session has computed; the
 // initial fixpoint is epoch 1.
-func (s *Session) Epoch() int { return s.engEpoch }
+func (s *Session) Epoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engEpoch
+}
 
 // MutEpoch returns the mutation-log position the current state
 // incorporates: 0 after a fresh Open, k after the k-th Apply, or the
 // restored checkpoint's position after Open(RestoreDir) — the caller
 // replays its own log entries past this point to catch up.
-func (s *Session) MutEpoch() int { return s.mutEpoch }
+func (s *Session) MutEpoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mutEpoch
+}
 
 // Log returns the mutation log of this session's Applys (entries are
 // stamped 1..MutEpoch; a restored session starts empty at the restored
-// position).
+// position). The log itself is appended to by Apply; read it only with
+// the session quiescent (parked, poisoned, or closed).
 func (s *Session) Log() *edb.MutationLog { return s.log }
 
 // Err returns the session's sticky error, if an epoch failed.
-func (s *Session) Err() error { return s.err }
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

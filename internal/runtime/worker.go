@@ -546,6 +546,15 @@ func (w *worker) handle(m transport.Message) {
 				if m.Round > w.joinMarks2[m.From] {
 					w.joinMarks2[m.From] = m.Round
 				}
+				// A second-round marker proves the sender finished the
+				// first round, and per-pair FIFO means every pre-fence
+				// datum it sent has already been folded here — so it
+				// satisfies the first-round wait too. This heals a
+				// first-round marker lost to a slot reset racing the
+				// previous fence's Release (see resetLink).
+				if m.Round > w.joinMarks[m.From] {
+					w.joinMarks[m.From] = m.Round
+				}
 			} else if m.Round > w.joinMarks[m.From] {
 				w.joinMarks[m.From] = m.Round
 			}

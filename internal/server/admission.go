@@ -1,0 +1,89 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission control for the fixpoint-running endpoints (/v1/query with
+// a cold pool entry, /v1/mutate). Two independent gates:
+//
+//   - A per-tenant token bucket bounds each tenant's REQUEST RATE.
+//     Exceeding it is the tenant's own fault and maps to 429.
+//   - A server-wide semaphore bounds CONCURRENT FIXPOINTS. A fixpoint
+//     pins Config.Workers goroutines at full compute for up to the wall
+//     budget, so admitting more of them than the machine has headroom
+//     for only adds queueing delay everywhere; hitting the cap is the
+//     server's state, not the caller's fault, and maps to 503 with
+//     Retry-After.
+//
+// Point lookups (/v1/result) bypass both gates: they are wait-free
+// reads of the last published fixpoint.
+
+var (
+	errRateLimited = errors.New("server: tenant rate limit exceeded")
+	errSaturated   = errors.New("server: concurrent fixpoint limit reached")
+)
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+type admission struct {
+	rate  float64 // tokens per second per tenant
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+
+	fixpoints chan struct{} // semaphore: one slot per admitted fixpoint
+}
+
+func newAdmission(rate, burst float64, maxFixpoints int) *admission {
+	return &admission{
+		rate:      rate,
+		burst:     burst,
+		buckets:   map[string]*tokenBucket{},
+		fixpoints: make(chan struct{}, maxFixpoints),
+	}
+}
+
+// takeToken debits one token from the tenant's bucket, refilling it
+// first for the time elapsed since the last visit. An unknown tenant
+// starts with a full bucket.
+func (a *admission) takeToken(tenant string, now time.Time) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{tokens: a.burst, last: now}
+		a.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * a.rate
+		if b.tokens > a.burst {
+			b.tokens = a.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return errRateLimited
+	}
+	b.tokens--
+	return nil
+}
+
+// acquireFixpoint claims a fixpoint slot without blocking; the caller
+// must releaseFixpoint when the engine parks again.
+func (a *admission) acquireFixpoint() error {
+	select {
+	case a.fixpoints <- struct{}{}:
+		return nil
+	default:
+		return errSaturated
+	}
+}
+
+func (a *admission) releaseFixpoint() { <-a.fixpoints }

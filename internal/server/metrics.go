@@ -1,0 +1,46 @@
+package server
+
+import "powerlog/internal/metrics"
+
+// serveMetrics holds the front end's instruments. All serve.* names are
+// registered here — the single registration site the metricname
+// analyzer requires — against the server's own Registry, which /metrics
+// renders alongside the engines' per-fixpoint snapshots.
+type serveMetrics struct {
+	// Request mix.
+	req         *metrics.Counter // every request that reached a handler
+	queryFresh  *metrics.Counter // fresh fixpoints computed by /v1/query
+	queryCached *metrics.Counter // /v1/query served from the parked fixpoint
+	lookup      *metrics.Counter // /v1/result point lookups
+	mutate      *metrics.Counter // /v1/mutate incremental re-fixpoints
+
+	// Shedding and failures.
+	shedRate *metrics.Counter // 429s from the per-tenant token bucket
+	shedBusy *metrics.Counter // 503s from the fixpoint semaphore or a busy session
+	errs     *metrics.Counter // 4xx/5xx other than shedding
+
+	// Pool state.
+	pooled *metrics.Gauge // live parked sessions
+
+	// Request-path latency (microseconds, log2 buckets).
+	queryLat  *metrics.Histogram
+	lookupLat *metrics.Histogram
+	mutateLat *metrics.Histogram
+}
+
+func newServeMetrics(r *metrics.Registry) *serveMetrics {
+	return &serveMetrics{
+		req:         r.Counter("serve.req"),
+		queryFresh:  r.Counter("serve.query.fresh"),
+		queryCached: r.Counter("serve.query.cached"),
+		lookup:      r.Counter("serve.lookup"),
+		mutate:      r.Counter("serve.mutate"),
+		shedRate:    r.Counter("serve.shed.rate"),
+		shedBusy:    r.Counter("serve.shed.busy"),
+		errs:        r.Counter("serve.error"),
+		pooled:      r.Gauge("serve.session.pooled"),
+		queryLat:    r.Histogram("serve.query.latency_us"),
+		lookupLat:   r.Histogram("serve.lookup.latency_us"),
+		mutateLat:   r.Histogram("serve.mutate.latency_us"),
+	}
+}

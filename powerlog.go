@@ -205,6 +205,17 @@ type Session = runtime.Session
 // endpoints; deleting an absent edge is a no-op.
 type Mutation = runtime.Mutation
 
+// Typed session-state errors for callers driving one Session from
+// concurrent goroutines (as the serving front end does): branch with
+// errors.Is — Busy means an exclusive operation (a fixpoint, a
+// membership fence) is in flight and the call was shed rather than
+// queued; Closed means Close has run (or is running) and the rejection
+// is permanent.
+var (
+	ErrSessionBusy   = runtime.ErrSessionBusy
+	ErrSessionClosed = runtime.ErrSessionClosed
+)
+
 // Open starts a long-lived session: it computes the plan's initial
 // fixpoint and parks the worker fleet, ready for incremental
 // re-fixpoints under Session.Apply:
